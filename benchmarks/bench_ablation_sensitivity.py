@@ -1,0 +1,81 @@
+"""Calibration-sensitivity ablation: do the conclusions survive
+halving/doubling the contention coefficients?
+
+Not a paper table. The reproduction's simulator encodes contention
+through two coefficients (CPU thread oversubscription, RocksDB
+compaction interference). This bench re-runs the Figure 3a/3b
+co-location contrasts across a 0.5x / 1x / 2x coefficient grid and
+asserts the *ordering* — balance beats co-location — at every point,
+while the penalty magnitude scales with the coefficients as expected.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _helpers import run_once
+
+from repro.experiments import make_motivation_cluster
+from repro.experiments.reporting import format_percent, format_table
+from repro.experiments.runner import plan_with_colocation
+from repro.experiments.sweeps import default_coefficient_grid, sweep_colocation_penalty
+from repro.workloads import q2_join, q3_inf, query_by_name
+
+
+def test_sensitivity_of_colocation_conclusions(benchmark):
+    cluster = make_motivation_cluster()
+    grid = default_coefficient_grid()
+
+    def study():
+        results = {}
+        g3 = q3_inf()
+        results["Q3-inf / compute"] = sweep_colocation_penalty(
+            g3,
+            cluster,
+            plan_with_colocation(g3, cluster, ["inference"], 1),
+            plan_with_colocation(g3, cluster, ["inference"], 4),
+            rate=query_by_name("Q3-inf").target_rate,
+            configs=grid,
+        )
+        g2 = q2_join()
+        results["Q2-join / disk I/O"] = sweep_colocation_penalty(
+            g2,
+            cluster,
+            plan_with_colocation(g2, cluster, ["tumbling_join"], 2),
+            plan_with_colocation(g2, cluster, ["tumbling_join"], 4),
+            rate=query_by_name("Q2-join").target_rate,
+            configs=grid,
+        )
+        return results
+
+    results = run_once(benchmark, study)
+
+    rows = []
+    for experiment, points in results.items():
+        for point in points:
+            rows.append(
+                [
+                    experiment,
+                    point.label,
+                    round(point.balanced_throughput),
+                    round(point.piled_throughput),
+                    format_percent(point.penalty),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["experiment", "coefficients", "balanced thpt", "co-located thpt",
+             "penalty"],
+            rows,
+            title="Sensitivity -- co-location penalty vs contention calibration",
+        )
+    )
+
+    for experiment, points in results.items():
+        # the ordering holds at every calibration
+        assert all(p.ordering_holds for p in points), experiment
+        # the penalty grows (weakly) with the coefficients
+        penalties = [p.penalty for p in points]
+        assert penalties[0] <= penalties[-1] + 0.02, experiment
+        # at the calibrated point the penalty is material
+        assert penalties[1] > 0.1, experiment

@@ -1,0 +1,79 @@
+"""Figure 2: exhaustive placement-plan search for Q1-sliding.
+
+Paper section 3.2: deploying Q1-sliding on the 4-worker / 16-slot
+cluster yields 80 possible placement plans; the three best reach the
+target (~14k rec/s, low backpressure) while the three worst collapse,
+and only 3 of 80 plans meet the target performance.
+
+This bench executes every plan on the simulator and prints the P1-P3 /
+P4-P6 rows of Figure 2 plus the meets-target census.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _helpers import DURATION_S, WARMUP_S, run_once
+
+from repro.experiments import (
+    enumerate_all_plans,
+    make_motivation_cluster,
+)
+from repro.experiments.figures import best_and_worst, rank_plans_by_throughput
+from repro.experiments.reporting import format_percent, format_table
+from repro.experiments.runner import simulate_plan
+from repro.workloads import q1_sliding, query_by_name
+
+
+def test_fig2_exhaustive_q1_study(benchmark):
+    preset = query_by_name("Q1-sliding")
+    cluster = make_motivation_cluster()
+    graph = q1_sliding()
+
+    def study():
+        plans, model = enumerate_all_plans(graph, cluster, preset.target_rate)
+        evaluated = []
+        for cost, plan in plans:
+            summary = simulate_plan(
+                graph, cluster, plan, preset.target_rate,
+                duration_s=DURATION_S, warmup_s=WARMUP_S,
+            )
+            evaluated.append((cost, plan, summary))
+        return evaluated
+
+    evaluated = run_once(benchmark, study)
+
+    assert len(evaluated) == 80, "paper reports exactly 80 plans"
+    ranked = rank_plans_by_throughput(evaluated)
+    picked = best_and_worst(ranked, k=3)
+    rows = [
+        [
+            entry.label,
+            round(entry.summary.throughput),
+            format_percent(entry.summary.backpressure),
+            round(entry.cost.cpu, 3),
+            round(entry.cost.io, 3),
+            round(entry.cost.net, 3),
+        ]
+        for entry in picked
+    ]
+    print()
+    print(
+        format_table(
+            ["plan", "throughput (rec/s)", "backpressure", "C_cpu", "C_io", "C_net"],
+            rows,
+            title=(
+                f"Figure 2 -- best/worst of all 80 Q1-sliding plans "
+                f"(target {preset.target_rate:.0f} rec/s)"
+            ),
+        )
+    )
+    meeting = [
+        e for e in evaluated if e[2].throughput >= preset.target_rate * 0.95
+    ]
+    print(f"plans meeting target: {len(meeting)} / {len(evaluated)} "
+          f"(paper: 3 / 80)")
+
+    assert len(meeting) == 3
+    best, worst = ranked[0].summary, ranked[-1].summary
+    assert best.throughput > worst.throughput * 1.4
+    assert worst.backpressure > 0.3

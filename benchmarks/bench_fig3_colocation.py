@@ -1,0 +1,103 @@
+"""Figure 3: effect of co-locating resource-intensive tasks.
+
+Paper section 3.3 runs three controlled studies with hand-picked plans
+of increasing contention degree:
+
+- (a) compute: Q3-inf inference tasks piled onto one worker;
+- (b) disk I/O: Q2-join tumbling-join tasks piled onto one worker
+  (110k -> 91k rec/s, backpressure 4% -> 32% in the paper);
+- (c) network: Q3-inf traffic-heavy decode tasks piled onto one worker
+  with every NIC capped at 1 Gbps (1555 -> 1185 rec/s, 12% -> 37%).
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _helpers import DURATION_S, WARMUP_S, run_once
+
+from repro.experiments import make_motivation_cluster
+from repro.experiments.reporting import format_percent, format_table
+from repro.experiments.runner import plan_with_colocation, simulate_plan
+from repro.workloads import q2_join, q3_inf, query_by_name
+
+GBPS = 1.25e8  # 1 Gbit/s in bytes/s
+
+
+def _sweep(graph, cluster, operators, degrees, rate, net_cap=None):
+    rows = []
+    for degree in degrees:
+        plan = plan_with_colocation(graph, cluster, operators, degree)
+        summary = simulate_plan(
+            graph, cluster, plan, rate,
+            duration_s=DURATION_S, warmup_s=WARMUP_S,
+            network_cap_bytes_per_s=net_cap,
+        )
+        rows.append((degree, summary))
+    return rows
+
+
+def _print(title, rows):
+    print()
+    print(
+        format_table(
+            ["co-location degree", "throughput (rec/s)", "backpressure", "latency (s)"],
+            [
+                [d, round(s.throughput), format_percent(s.backpressure),
+                 round(s.latency_s, 2)]
+                for d, s in rows
+            ],
+            title=title,
+        )
+    )
+
+
+def test_fig3a_compute_colocation(benchmark):
+    preset = query_by_name("Q3-inf")
+    cluster = make_motivation_cluster()
+    graph = q3_inf()
+    rows = run_once(
+        benchmark,
+        lambda: _sweep(graph, cluster, ["inference"], (1, 2, 3, 4), preset.target_rate),
+    )
+    _print("Figure 3a -- co-locating compute-intensive inference tasks (Q3-inf)", rows)
+    low, high = rows[0][1], rows[-1][1]
+    assert low.throughput > high.throughput * 1.5
+    assert high.backpressure > low.backpressure + 0.2
+
+
+def test_fig3b_io_colocation(benchmark):
+    preset = query_by_name("Q2-join")
+    cluster = make_motivation_cluster()
+    graph = q2_join()
+    rows = run_once(
+        benchmark,
+        lambda: _sweep(
+            graph, cluster, ["tumbling_join"], (2, 3, 4), preset.target_rate
+        ),
+    )
+    _print("Figure 3b -- co-locating I/O-intensive join tasks (Q2-join)", rows)
+    low, high = rows[0][1], rows[-1][1]
+    penalty = 1.0 - high.throughput / low.throughput
+    print(f"full co-location penalty: {penalty:.1%} (paper: ~17%)")
+    assert low.meets_target()
+    assert 0.10 <= penalty <= 0.30
+
+
+def test_fig3c_network_colocation(benchmark):
+    preset = query_by_name("Q3-inf")
+    cluster = make_motivation_cluster()
+    graph = q3_inf()
+    rows = run_once(
+        benchmark,
+        lambda: _sweep(
+            graph, cluster, ["decode"], (1, 2, 3), preset.target_rate, net_cap=GBPS
+        ),
+    )
+    _print(
+        "Figure 3c -- co-locating network-intensive decode tasks, NICs capped "
+        "at 1 Gbps (Q3-inf)",
+        rows,
+    )
+    low, high = rows[0][1], rows[-1][1]
+    assert low.throughput > high.throughput * 1.1
+    assert high.backpressure > low.backpressure

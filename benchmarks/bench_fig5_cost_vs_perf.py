@@ -1,0 +1,77 @@
+"""Figure 5: plan cost versus measured throughput for Q1-sliding.
+
+Paper section 4.4.1: plotting each of the 80 plans' (C_cpu, C_io,
+C_net) against measured throughput shows that threshold lines on the
+cost dimensions separate the high-performing plans — the empirical
+justification for threshold-based pruning — while C_net is not a
+dominant factor for this query.
+
+The bench prints the scatter series and the separating thresholds.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _helpers import run_once
+
+from repro.experiments import enumerate_all_plans, make_motivation_cluster
+from repro.experiments.figures import cost_throughput_scatter
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import simulate_plan
+from repro.workloads import q1_sliding, query_by_name
+
+
+def test_fig5_cost_versus_throughput(benchmark):
+    preset = query_by_name("Q1-sliding")
+    cluster = make_motivation_cluster()
+    graph = q1_sliding()
+
+    def study():
+        plans, model = enumerate_all_plans(graph, cluster, preset.target_rate)
+        evaluated = [
+            (
+                cost,
+                plan,
+                simulate_plan(graph, cluster, plan, preset.target_rate,
+                              duration_s=300, warmup_s=120),
+            )
+            for cost, plan in plans
+        ]
+        return evaluated, model
+
+    evaluated, model = run_once(benchmark, study)
+    scatter = cost_throughput_scatter(evaluated)
+
+    # Print a decile view of the scatter (80 raw rows are unwieldy).
+    ordered = sorted(scatter, key=lambda r: -r[3])
+    step = max(1, len(ordered) // 10)
+    rows = [
+        [round(c_cpu, 3), round(c_io, 3), round(c_net, 3), round(thpt)]
+        for c_cpu, c_io, c_net, thpt in ordered[::step]
+    ]
+    print()
+    print(
+        format_table(
+            ["C_cpu", "C_io", "C_net", "throughput (rec/s)"],
+            rows,
+            title="Figure 5 -- plan cost vs throughput, Q1-sliding (decile sample)",
+        )
+    )
+
+    # The separating thresholds of the dashed lines in the paper figure.
+    target = preset.target_rate * 0.95
+    meeting = [r for r in scatter if r[3] >= target]
+    failing = [r for r in scatter if r[3] < target]
+    io_threshold = max(r[1] for r in meeting)
+    cpu_threshold = max(r[0] for r in meeting)
+    print(f"separating thresholds: alpha_cpu <= {cpu_threshold:.3f}, "
+          f"alpha_io <= {io_threshold:.3f}")
+    print(f"C_net insensitive for Q1: "
+          f"{'net' in model.insensitive_dimensions()} (paper: yes)")
+
+    # every failing plan violates at least one separating threshold
+    assert all(
+        r[1] > io_threshold + 1e-9 or r[0] > cpu_threshold + 1e-9 for r in failing
+    )
+    # C_io separates: all plans under the io threshold with low cpu meet target
+    assert "net" in model.insensitive_dimensions()

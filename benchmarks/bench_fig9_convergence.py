@@ -1,0 +1,103 @@
+"""Figure 9: effect of task placement on auto-scaling convergence.
+
+Paper section 6.4.2: operators start at parallelism 1, the input rate
+alternates between a high and a low value, and DS2 decides when to act.
+With CAPSys, DS2 converges within about one step per rate change and
+never over-provisions; with ``default``/``evenly``, poor placements feed
+DS2 inaccurate metrics, causing oscillations and up to eight additional
+scaling decisions.
+
+The bench prints the time-bucketed throughput/resource timeline per
+policy plus the count of scaling actions.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _helpers import run_once
+
+from repro.dataflow.cluster import Cluster, R5D_XLARGE
+from repro.controller.capsys import CAPSysController, ControllerConfig
+from repro.experiments.figures import convergence_timeline_rows
+from repro.experiments.reporting import format_table
+from repro.placement import FlinkDefaultStrategy, FlinkEvenlyStrategy
+from repro.workloads import q3_inf
+from repro.workloads.rates import SquareWaveRate
+
+# 7 workers (14 cores): the high-rate step needs ~88% of cluster CPU,
+# so placement quality decides whether the target is reachable -- the
+# tightness the paper's testbed evidently had.
+CLUSTER = Cluster.homogeneous(R5D_XLARGE.with_slots(8), count=7)
+PERIOD_S = 900.0  # the paper alternates every 20 min; compressed 900 s here
+DURATION_S = 3600.0
+PATTERN = SquareWaveRate(high=2600.0, low=900.0, period_s=PERIOD_S)
+
+
+def _run(strategy):
+    graph = q3_inf()
+    controller = CAPSysController(
+        graph, CLUSTER, strategy=strategy,
+        config=ControllerConfig(activation_time_s=90.0, policy_interval_s=5.0),
+    )
+    return controller.run_adaptive(
+        {"source": PATTERN},
+        duration_s=DURATION_S,
+        initial_parallelism={op: 1 for op in graph.operators},
+    )
+
+
+def test_fig9_autoscaling_convergence(benchmark):
+    def study():
+        return {
+            "CAPSys": _run("caps"),
+            "Default": _run(FlinkDefaultStrategy()),
+            "Evenly": _run(FlinkEvenlyStrategy()),
+        }
+
+    results = run_once(benchmark, study)
+
+    for policy, result in results.items():
+        rows = convergence_timeline_rows(result, bucket_s=300.0)
+        print()
+        print(
+            format_table(
+                ["t (s)", "target", "throughput", "tasks"],
+                [
+                    [int(t), round(target), round(thpt), tasks]
+                    for t, target, thpt, tasks in rows
+                ],
+                title=(
+                    f"Figure 9 [{policy}] -- {result.rescale_count()} scaling "
+                    f"decisions at "
+                    + ", ".join(f"{e.time_s:.0f}s" for e in result.events)
+                ),
+            )
+        )
+
+    caps = results["CAPSys"]
+    # One initial ramp-up plus one rescale per rate change (3 changes in
+    # 3600 s with a 900 s period): converges without oscillation.
+    assert caps.rescale_count() <= 5
+    # CAPSys sustains the high target in the steady part of each phase.
+    for start in (300.0, 2100.0):
+        window_mean = caps.mean_throughput(start, start + 550.0)
+        assert window_mean >= PATTERN.high * 0.85, start
+    # The default policy destabilises DS2: extra scaling decisions
+    # (oscillation) and/or missed high-phase targets — the paper's
+    # headline convergence failure. `evenly` is seed- and geometry-
+    # dependent: its count balance can coincide with load balance on
+    # this cluster (see EXPERIMENTS.md), so we only require it never to
+    # beat CAPSys.
+    default = results["Default"]
+    default_extra = default.rescale_count() > caps.rescale_count()
+    default_missed = any(
+        default.mean_throughput(start, start + 550.0) < PATTERN.high * 0.85
+        for start in (300.0, 2100.0)
+    )
+    assert default_extra or default_missed
+    evenly = results["Evenly"]
+    assert evenly.rescale_count() >= caps.rescale_count()
+    for start in (300.0, 2100.0):
+        assert evenly.mean_throughput(start, start + 550.0) <= (
+            caps.mean_throughput(start, start + 550.0) + 1e-6
+        )

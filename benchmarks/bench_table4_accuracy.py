@@ -1,0 +1,103 @@
+"""Table 4: effect of task placement on auto-scaling accuracy.
+
+Paper section 6.4.1: starting from a tuned configuration at 720 rec/s,
+the target rate doubles twice and then halves twice; after each change
+exactly one DS2 scaling action fires. A checkmark in *Throughput* means
+the policy met the target rate; one in *Resources* means it provisioned
+no more than the minimum required. CAPSys earns both checkmarks in all
+four steps, while the baselines miss targets and over-provision because
+contention corrupts the true rates DS2 consumes.
+
+The baselines are randomised, so we run each over several seeds and
+report per-seed outcomes (the paper's single-run table corresponds to
+one seed).
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _helpers import run_once
+
+from repro.dataflow.cluster import Cluster, R5D_XLARGE
+from repro.controller.capsys import CAPSysController, ControllerConfig
+from repro.experiments.reporting import check_or_cross, format_table
+from repro.placement import FlinkDefaultStrategy, FlinkEvenlyStrategy
+from repro.workloads import q3_inf
+
+# 7 workers (14 cores): the high-rate step needs ~88% of cluster CPU,
+# so placement quality decides whether the target is reachable -- the
+# tightness the paper's testbed evidently had.
+CLUSTER = Cluster.homogeneous(R5D_XLARGE.with_slots(8), count=7)
+INITIAL = {"source": 720.0}
+STEPS = [
+    {"source": 1440.0},
+    {"source": 2880.0},
+    {"source": 1440.0},
+    {"source": 720.0},
+]
+BASELINE_SEEDS = (0, 1, 2)
+
+
+def _run(strategy, seed=0):
+    controller = CAPSysController(
+        q3_inf(), CLUSTER, strategy=strategy, config=ControllerConfig(seed=seed)
+    )
+    return controller.run_controlled_steps(
+        INITIAL, STEPS, settle_s=120.0, measure_s=180.0
+    )
+
+
+def test_table4_autoscaling_accuracy(benchmark):
+    def study():
+        results = {"CAPSys": [_run("caps")]}
+        for strategy_cls, name in (
+            (FlinkDefaultStrategy, "Default"),
+            (FlinkEvenlyStrategy, "Evenly"),
+        ):
+            results[name] = [
+                _run(strategy_cls(), seed=seed) for seed in BASELINE_SEEDS
+            ]
+        return results
+
+    results = run_once(benchmark, study)
+
+    rows = []
+    for policy, runs in results.items():
+        for run_idx, outcomes in enumerate(runs):
+            label = policy if len(runs) == 1 else f"{policy} (seed {run_idx})"
+            row = [label]
+            for o in outcomes:
+                row.append(check_or_cross(o.meets_throughput))
+                row.append(check_or_cross(not o.over_provisioned))
+            rows.append(row)
+    headers = ["policy"]
+    for i in range(1, 5):
+        headers += [f"s{i} thpt", f"s{i} rsrc"]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table 4 -- auto-scaling accuracy over 4 rate steps "
+                "(720 -> 1440 -> 2880 -> 1440 -> 720 rec/s)"
+            ),
+        )
+    )
+    print("OK in 'thpt' = met target rate; OK in 'rsrc' = no over-provisioning")
+
+    caps = results["CAPSys"][0]
+    assert all(o.meets_throughput for o in caps)
+    assert all(not o.over_provisioned for o in caps)
+    # the default policy degrades DS2 in every seed: at least one step
+    # misses throughput or over-provisions
+    for outcomes in results["Default"]:
+        assert any(
+            (not o.meets_throughput) or o.over_provisioned for o in outcomes
+        )
+    # evenly's count balance fails under pressure in at least one seed
+    # (the paper's step-2 cross)
+    assert any(
+        any((not o.meets_throughput) or o.over_provisioned for o in outcomes)
+        for outcomes in results["Evenly"]
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Placement-space explorer: cost model vs measured performance.
+
+Recreates the paper's motivation study (sections 3.2 / 4.4.1, Figures 2
+and 5) interactively: enumerates every placement plan for a query,
+simulates each, and prints an ASCII scatter of the dominant cost
+dimension against measured throughput, with the threshold that separates
+the target-meeting plans.
+
+Run:  python examples/placement_explorer.py [query-name]
+"""
+
+import sys
+
+from repro.experiments import enumerate_all_plans, make_motivation_cluster
+from repro.experiments.figures import rank_plans_by_throughput
+from repro.experiments.runner import simulate_plan
+from repro.workloads import query_by_name
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Q1-sliding"
+    preset = query_by_name(name)
+    graph = preset.build()
+    cluster = make_motivation_cluster()
+    target = preset.target_rate
+    dim = preset.dominant_dimension
+
+    print(f"enumerating placement plans for {name} on {cluster} ...")
+    plans, model = enumerate_all_plans(graph, cluster, target)
+    print(f"{len(plans)} distinct plans "
+          f"(duplicate-eliminated; dominant dimension: {dim})")
+    if len(plans) > 200:
+        print("sampling the 200 lowest-cost plans for simulation")
+        plans = sorted(plans, key=lambda cp: cp[0].total())[:200]
+
+    evaluated = []
+    for cost, plan in plans:
+        summary = simulate_plan(graph, cluster, plan, target,
+                                duration_s=300.0, warmup_s=120.0)
+        evaluated.append((cost, plan, summary))
+
+    ranked = rank_plans_by_throughput(evaluated)
+    meeting = [r for r in ranked if r.summary.throughput >= target * 0.95]
+    print(f"\n{len(meeting)}/{len(ranked)} plans meet the target "
+          f"({target:.0f} rec/s)")
+
+    print(f"\n   C_{dim}  | throughput")
+    buckets = {}
+    for entry in ranked:
+        key = round(entry.cost[dim], 1)
+        buckets.setdefault(key, []).append(entry.summary.throughput)
+    for key in sorted(buckets):
+        values = buckets[key]
+        mean = sum(values) / len(values)
+        bar = "#" * int(40 * mean / target)
+        print(f"   {key:5.1f}   | {mean:9.0f}  {bar}  ({len(values)} plans)")
+
+    if meeting:
+        threshold = max(r.cost[dim] for r in meeting)
+        print(f"\nthreshold separating good plans: alpha_{dim} <= {threshold:.3f}")
+        print("(this is the quantity CAPS' auto-tuner discovers, section 5.2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Skew-aware placement groups (paper section 5.2).
+
+A Zipf key distribution concentrates Q1-sliding's window load on a few
+tasks. A skew-aware partitioner would organise the tasks into placement
+groups of equal demand; CAPS then explores each group as its own
+outer-search layer and separates the hot tasks across workers — which
+the skew-blind baselines only do by accident.
+
+Run:  python examples/skewed_workload.py
+"""
+
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.core.search import CapsSearch, SearchLimits
+from repro.core.skew import bucket_shares, zipf_shares
+from repro.experiments import make_motivation_cluster
+from repro.placement import FlinkEvenlyStrategy
+from repro.simulator.engine import FluidSimulation
+from repro.workloads import q1_sliding, query_by_name
+
+
+def describe(plan, physical, shares):
+    hot = {i for i, s in enumerate(shares) if s == max(shares)}
+    lines = []
+    for worker in sorted(plan.worker_ids()):
+        tags = []
+        for uid in plan.tasks_on(worker):
+            name = uid.split("/", 1)[1]
+            if "sliding_window" in name:
+                index = int(name.split("[")[1].rstrip("]"))
+                tags.append(name + (" *HOT*" if index in hot else ""))
+            else:
+                tags.append(name)
+        lines.append(f"  worker {worker}: {', '.join(tags)}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    preset = query_by_name("Q1-sliding")
+    cluster = make_motivation_cluster()
+    graph = q1_sliding()
+    rate = preset.target_rate * 0.75
+
+    raw = zipf_shares(8, exponent=0.8)
+    shares = bucket_shares(raw, groups=2)
+    print("window-task load shares (Zipf 0.8, quantised to 2 groups):")
+    print("  " + ", ".join(f"{s:.3f}" for s in shares))
+
+    physical = PhysicalGraph.expand(graph, skew={"sliding_window": shares})
+    costs = TaskCosts.from_specs(physical, {("Q1-sliding", "source"): rate})
+    model = CostModel(physical, cluster, costs)
+
+    search = CapsSearch(model)
+    groups = [l for l in search.layers if l.key[1] == "sliding_window"]
+    print(f"\nCAPS sees {len(groups)} placement groups for the window operator "
+          f"({', '.join(str(l.count) for l in groups)} tasks)")
+
+    plan = search.run(SearchLimits(timeout_s=10.0)).best_plan
+    print("\nCAPS placement:")
+    print(describe(plan, physical, shares))
+    # simulate the *skewed* physical graph (simulate_plan would re-expand
+    # it uniformly)
+    sim = FluidSimulation(physical, cluster, plan, {("Q1-sliding", "source"): rate})
+    summary = sim.run(420, warmup_s=180).only
+    print(f"CAPS   -> {summary.throughput:.0f}/{rate:.0f} rec/s, "
+          f"bp {summary.backpressure:.1%}")
+
+    worst = None
+    for seed in range(5):
+        baseline = FlinkEvenlyStrategy(seed=seed).place_validated(physical, cluster)
+        sim = FluidSimulation(
+            physical, cluster, baseline, {("Q1-sliding", "source"): rate}
+        )
+        s = sim.run(420, warmup_s=180).only
+        if worst is None or s.throughput < worst.throughput:
+            worst = s
+    print(f"evenly -> worst of 5 seeds: {worst.throughput:.0f}/{rate:.0f} rec/s, "
+          f"bp {worst.backpressure:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""CAPSys reproduction: contention-aware task placement for data stream processing.
+
+This package reproduces the system described in
+
+    Wang, Huang, Wang, Kalavri, Matta.
+    "CAPSys: Contention-aware task placement for data stream processing."
+    EuroSys 2025. https://doi.org/10.1145/3689031.3696085
+
+The paper integrates its placement strategy with Apache Flink; this
+reproduction implements every substrate in pure Python (see DESIGN.md):
+
+- :mod:`repro.dataflow` -- logical/physical dataflow graphs and slot-based
+  worker clusters (the Flink resource model of paper section 2.1).
+- :mod:`repro.simulator` -- a deterministic fluid-flow stream-processing
+  simulator with per-worker CPU, disk-I/O, and network contention and
+  credit-style backpressure (replaces the AWS Flink testbed).
+- :mod:`repro.workloads` -- the six evaluation queries (Q1-sliding,
+  Q2-join, Q3-inf, Q4-join, Q5-aggregate, Q6-session) and workload
+  generators (replaces Nexmark + the Crayfish inference query).
+- :mod:`repro.scaling` -- the DS2 auto-scaling controller.
+- :mod:`repro.core` -- CAPS itself: the cost model, the outer/inner DFS
+  plan search with duplicate elimination, threshold pruning, exploration
+  reordering, pareto selection, and threshold auto-tuning.
+- :mod:`repro.placement` -- baseline strategies: Flink ``default``,
+  Flink ``evenly``, random search, and the ODRP MILP baseline.
+- :mod:`repro.controller` -- the CAPSys adaptive resource controller
+  wiring profiling, DS2, and CAPS together (paper section 5).
+- :mod:`repro.experiments` -- shared experiment harness used by the
+  benchmark suite to regenerate every table and figure of the paper.
+"""
+
+from repro.dataflow.graph import LogicalGraph, OperatorSpec
+from repro.dataflow.physical import PhysicalGraph, Task
+from repro.dataflow.cluster import Cluster, Worker, WorkerSpec
+from repro.core.plan import PlacementPlan
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.core.search import CapsSearch, SearchResult
+from repro.core.autotune import ThresholdAutoTuner
+from repro.controller.capsys import CAPSysController
+
+__all__ = [
+    "LogicalGraph",
+    "OperatorSpec",
+    "PhysicalGraph",
+    "Task",
+    "Cluster",
+    "Worker",
+    "WorkerSpec",
+    "PlacementPlan",
+    "CostModel",
+    "TaskCosts",
+    "CapsSearch",
+    "SearchResult",
+    "ThresholdAutoTuner",
+    "CAPSysController",
+]
+
+__version__ = "1.0.0"

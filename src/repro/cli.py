@@ -1,0 +1,254 @@
+"""Command-line interface for the CAPSys reproduction.
+
+Subcommands mirror the library's main entry points:
+
+- ``place``     profile a query, size it with DS2, place it with a
+                strategy, simulate, and report the outcome;
+- ``compare``   run CAPS vs the Flink baselines on one query;
+- ``autoscale`` run the adaptive control loop under a square-wave
+                workload and print the convergence timeline;
+- ``explore``   enumerate a query's placement space and summarise the
+                cost/performance spread (the motivation study);
+- ``queries``   list the available queries and their calibrated rates.
+
+Usage:
+    python -m repro.cli queries
+    python -m repro.cli place Q1-sliding --strategy caps
+    python -m repro.cli compare Q5-aggregate --runs 5
+    python -m repro.cli autoscale Q3-inf --duration 2700
+    python -m repro.cli explore Q1-sliding
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.controller.capsys import CAPSysController, ControllerConfig
+from repro.dataflow.cluster import Cluster, M5D_2XLARGE, R5D_XLARGE
+from repro.dataflow.physical import PhysicalGraph
+from repro.experiments import enumerate_all_plans
+from repro.experiments.figures import convergence_timeline_rows
+from repro.experiments.reporting import box_stats, format_percent, format_table
+from repro.experiments.runner import simulate_plan, strategy_box_runs
+from repro.placement import CapsStrategy, FlinkDefaultStrategy, FlinkEvenlyStrategy
+from repro.workloads import ALL_QUERIES, query_by_name
+from repro.workloads.rates import SquareWaveRate
+
+
+def _cluster(args: argparse.Namespace) -> Cluster:
+    spec = {"r5d": R5D_XLARGE, "m5d": M5D_2XLARGE}[args.instance]
+    return Cluster.homogeneous(spec.with_slots(args.slots), count=args.workers)
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser, workers=4, slots=8) -> None:
+    parser.add_argument("--workers", type=int, default=workers,
+                        help="number of workers")
+    parser.add_argument("--slots", type=int, default=slots,
+                        help="slots per worker")
+    parser.add_argument("--instance", choices=("r5d", "m5d"), default="m5d",
+                        help="worker hardware preset")
+
+
+def cmd_queries(_args: argparse.Namespace) -> int:
+    rows = []
+    for preset in ALL_QUERIES:
+        graph = preset.build()
+        rows.append(
+            [
+                preset.name,
+                " -> ".join(graph.topological_order()),
+                preset.dominant_dimension,
+                round(preset.target_rate),
+                round(preset.isolation_rate),
+            ]
+        )
+    print(
+        format_table(
+            ["query", "operators", "dominant", "motivation rate", "isolation rate"],
+            rows,
+            title="available queries (rates are records/s per source)",
+        )
+    )
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    preset = query_by_name(args.query)
+    cluster = _cluster(args)
+    rate = args.rate or preset.isolation_rate
+    strategy = args.strategy
+    controller = CAPSysController(
+        preset.build(), cluster,
+        strategy="caps" if strategy == "caps" else
+        (FlinkDefaultStrategy(seed=args.seed) if strategy == "default"
+         else FlinkEvenlyStrategy(seed=args.seed)),
+    )
+    controller.profile()
+    deployment = controller.deploy(
+        {op: rate for op in preset.build().sources()}
+    )
+    print(f"parallelism: {deployment.parallelism}")
+    for worker_id in sorted(deployment.plan.worker_ids()):
+        tasks = ", ".join(
+            uid.split("/", 1)[1] for uid in deployment.plan.tasks_on(worker_id)
+        )
+        print(f"  worker {worker_id}: {tasks}")
+    summary = deployment.engine.run(args.duration, warmup_s=args.duration * 0.4).only
+    print(
+        f"throughput {summary.throughput:.0f}/{summary.target_rate:.0f} rec/s, "
+        f"backpressure {format_percent(summary.backpressure)}, "
+        f"latency {summary.latency_s:.2f} s"
+    )
+    return 0 if summary.meets_target() else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    preset = query_by_name(args.query)
+    cluster = _cluster(args)
+    rate = args.rate or preset.isolation_rate
+    controller = CAPSysController(preset.build(), cluster, strategy="caps")
+    unit_costs = controller.profile()
+    parallelism = controller.initial_parallelism(
+        {op: rate for op in preset.build().sources()}
+    )
+    graph = preset.build().with_parallelism(parallelism)
+    src_rates = {(graph.job_id, op): rate for op in graph.sources()}
+
+    rows = []
+    for strategy in (
+        CapsStrategy(src_rates, unit_costs_provider=lambda p: unit_costs),
+        FlinkDefaultStrategy(),
+        FlinkEvenlyStrategy(),
+    ):
+        runs = strategy_box_runs(
+            graph, cluster, strategy, rate,
+            runs=args.runs, duration_s=args.duration,
+            warmup_s=args.duration * 0.4,
+        )
+        thpt = box_stats([r.only.throughput for r in runs])
+        bp = box_stats([r.only.backpressure for r in runs])
+        rows.append(
+            [
+                strategy.name,
+                round(thpt.median),
+                round(thpt.minimum),
+                round(thpt.maximum),
+                format_percent(bp.median),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "thpt med", "thpt min", "thpt max", "bp med"],
+            rows,
+            title=f"{preset.name} at {rate:.0f} rec/s per source "
+                  f"({args.runs} runs per strategy)",
+        )
+    )
+    return 0
+
+
+def cmd_autoscale(args: argparse.Namespace) -> int:
+    preset = query_by_name(args.query)
+    cluster = _cluster(args)
+    graph = preset.build()
+    high = args.rate or preset.isolation_rate
+    pattern = SquareWaveRate(high=high, low=high * 0.35,
+                             period_s=args.duration / 3.0)
+    controller = CAPSysController(
+        graph, cluster,
+        strategy="caps" if args.strategy == "caps" else FlinkDefaultStrategy(),
+        config=ControllerConfig(),
+    )
+    result = controller.run_adaptive(
+        {op: pattern for op in graph.sources()},
+        duration_s=args.duration,
+        initial_parallelism={op: 1 for op in graph.operators},
+    )
+    print(f"{result.rescale_count()} scaling decisions")
+    rows = [
+        [int(t), round(target), round(thpt), tasks]
+        for t, target, thpt, tasks in convergence_timeline_rows(
+            result, bucket_s=max(60.0, args.duration / 12.0)
+        )
+    ]
+    print(format_table(["t (s)", "target", "throughput", "tasks"], rows))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    preset = query_by_name(args.query)
+    cluster = _cluster(args)
+    rate = args.rate or preset.target_rate
+    graph = preset.build()
+    plans, _model = enumerate_all_plans(graph, cluster, rate)
+    print(f"{len(plans)} distinct plans")
+    if len(plans) > args.limit:
+        plans = sorted(plans, key=lambda cp: cp[0].total())[: args.limit]
+        print(f"simulating the {args.limit} lowest-cost plans")
+    outcomes = [
+        simulate_plan(graph, cluster, plan, rate, duration_s=240, warmup_s=100)
+        for _cost, plan in plans
+    ]
+    thpt = box_stats([s.throughput for s in outcomes])
+    meets = sum(1 for s in outcomes if s.meets_target())
+    print(f"throughput spread: {thpt}")
+    print(f"plans meeting target: {meets}/{len(outcomes)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="CAPSys reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("queries", help="list available queries").set_defaults(
+        fn=cmd_queries
+    )
+
+    p = sub.add_parser("place", help="profile, size, place, and simulate")
+    p.add_argument("query")
+    p.add_argument("--strategy", choices=("caps", "default", "evenly"),
+                   default="caps")
+    p.add_argument("--rate", type=float, default=None,
+                   help="target rate per source (defaults to the preset)")
+    p.add_argument("--duration", type=float, default=420.0)
+    p.add_argument("--seed", type=int, default=0)
+    _add_cluster_args(p)
+    p.set_defaults(fn=cmd_place)
+
+    p = sub.add_parser("compare", help="CAPS vs Flink baselines")
+    p.add_argument("query")
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--rate", type=float, default=None)
+    p.add_argument("--duration", type=float, default=420.0)
+    _add_cluster_args(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("autoscale", help="adaptive DS2 + placement loop")
+    p.add_argument("query")
+    p.add_argument("--strategy", choices=("caps", "default"), default="caps")
+    p.add_argument("--rate", type=float, default=None)
+    p.add_argument("--duration", type=float, default=2700.0)
+    _add_cluster_args(p, workers=8)
+    p.set_defaults(fn=cmd_autoscale)
+
+    p = sub.add_parser("explore", help="enumerate the placement space")
+    p.add_argument("query")
+    p.add_argument("--rate", type=float, default=None)
+    p.add_argument("--limit", type=int, default=120,
+                   help="max plans to simulate")
+    _add_cluster_args(p, workers=4, slots=4)
+    p.set_defaults(fn=cmd_explore)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Timeline records produced by the adaptive controller.
+
+The convergence experiment (paper Figure 9) plots observed throughput
+and occupied resources over time with scaling decisions marked; these
+dataclasses are the data behind that plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One tick of the adaptive run, on the experiment's absolute clock."""
+
+    time_s: float
+    target_rate: float
+    throughput: float
+    backpressure: float
+    latency_s: float
+    total_tasks: int
+
+
+@dataclass(frozen=True)
+class RescaleEvent:
+    """One scaling decision that was actually enacted."""
+
+    time_s: float
+    old_parallelism: Dict[str, int]
+    new_parallelism: Dict[str, int]
+    reason: str = "ds2"
+
+    @property
+    def delta_tasks(self) -> int:
+        return sum(self.new_parallelism.values()) - sum(self.old_parallelism.values())
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Everything the controller observed over one adaptive run."""
+
+    samples: List[TimelineSample] = field(default_factory=list)
+    events: List[RescaleEvent] = field(default_factory=list)
+
+    def rescale_count(self) -> int:
+        return len(self.events)
+
+    def samples_between(self, start_s: float, end_s: float) -> List[TimelineSample]:
+        return [s for s in self.samples if start_s <= s.time_s < end_s]
+
+    def mean_throughput(self, start_s: float, end_s: float) -> float:
+        window = self.samples_between(start_s, end_s)
+        if not window:
+            return 0.0
+        return sum(s.throughput for s in window) / len(window)
+
+    def mean_backpressure(self, start_s: float, end_s: float) -> float:
+        window = self.samples_between(start_s, end_s)
+        if not window:
+            return 0.0
+        return sum(s.backpressure for s in window) / len(window)
+
+    def max_tasks(self, start_s: float, end_s: float) -> int:
+        window = self.samples_between(start_s, end_s)
+        if not window:
+            return 0
+        return max(s.total_tasks for s in window)

@@ -1,0 +1,155 @@
+"""Online profiling: re-deriving unit costs from live metrics.
+
+The paper leaves online profiling as future work but notes the existing
+infrastructure supports it: "we could use our current infrastructure to
+have the Metrics Collector periodically feed metrics to DS2 and CAPS"
+(section 5.1). This module implements that loop for the simulator
+substrate.
+
+The offline profiler isolates one operator per worker, so attribution
+is trivial. Live deployments co-locate operators, so per-worker usage
+must be *attributed* across the operators sharing each worker. We solve
+a non-negative least-squares system per resource dimension:
+
+    usage[w] = sum_over_operators( A[w, op] * unit_cost[op] )
+
+where ``A[w, op]`` is the windowed record rate of operator ``op``'s
+tasks on worker ``w`` (output rate for the network dimension). With at
+least as many workers as operators — always true for the paper's
+deployments — the system is well determined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import UnitCosts
+from repro.core.plan import PlacementPlan
+from repro.dataflow.cluster import Cluster
+from repro.simulator.engine import FluidSimulation
+
+OperatorKey = Tuple[str, str]
+
+
+def _nonnegative_lstsq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Least squares with negative coefficients clipped to zero.
+
+    Resource unit costs are physically non-negative; tiny negative
+    estimates are numerical artefacts of near-collinear columns.
+    """
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return np.maximum(solution, 0.0)
+
+
+def estimate_unit_costs(
+    sim: FluidSimulation,
+    warmup_s: float = 0.0,
+) -> Dict[OperatorKey, UnitCosts]:
+    """Attribute a live deployment's worker usage to per-operator costs.
+
+    Args:
+        sim: A running simulation with at least one full metrics window.
+        warmup_s: Portion of the worker-usage series to discard.
+
+    Returns:
+        Estimated :class:`UnitCosts` per operator. Operators that
+        processed no records in the window get zero costs and their
+        spec selectivity is unknown (reported as the observed 0).
+    """
+    physical = sim.physical
+    operators = physical.operator_keys()
+    task_rates = sim.metrics.task_rates()
+    dt = sim.config.dt
+
+    worker_ids = [w.worker_id for w in sim.cluster.workers]
+    worker_pos = {w: i for i, w in enumerate(worker_ids)}
+    n_w, n_ops = len(worker_ids), len(operators)
+
+    a_in = np.zeros((n_w, n_ops))   # input-rate matrix (cpu, io)
+    a_out = np.zeros((n_w, n_ops))  # output-rate matrix (net)
+    for o, key in enumerate(operators):
+        for task in physical.operator_tasks(*key):
+            w = worker_pos[sim.plan.worker_of(task)]
+            a_in[w, o] += task_rates[task.uid].observed_rate
+            a_out[w, o] += task_rates[task.uid].observed_output_rate
+
+    cpu_usage = sim.metrics.worker_cpu_utilisation(warmup_s, dt) * np.array(
+        [w.spec.cpu_capacity for w in sim.cluster.workers]
+    )
+    io_usage = sim.metrics.worker_io_rate(warmup_s, dt)
+    net_usage = sim.metrics.worker_net_rate(warmup_s, dt)
+
+    cpu = _nonnegative_lstsq(a_in, cpu_usage)
+    io = _nonnegative_lstsq(a_in, io_usage)
+    net = _nonnegative_lstsq(a_out, net_usage)
+
+    estimates: Dict[OperatorKey, UnitCosts] = {}
+    for o, key in enumerate(operators):
+        rates = [task_rates[t.uid] for t in physical.operator_tasks(*key)]
+        observed_in = sum(r.observed_rate for r in rates)
+        observed_out = sum(r.observed_output_rate for r in rates)
+        selectivity = observed_out / observed_in if observed_in > 1e-9 else 0.0
+        estimates[key] = UnitCosts(
+            cpu_per_record=float(cpu[o]),
+            io_bytes_per_record=float(io[o]),
+            net_bytes_per_record=float(net[o]),
+            selectivity=selectivity,
+        )
+    return estimates
+
+
+class OnlineProfiler:
+    """Periodically refreshed unit-cost estimates for a deployment.
+
+    Blends each new live estimate into the running profile with an
+    exponential moving average, so a momentary starvation does not wipe
+    out a good profile. The refreshed costs can be handed to DS2 and
+    CAPS on the next reconfiguration exactly like offline profiles.
+    """
+
+    def __init__(
+        self,
+        initial: Mapping[OperatorKey, UnitCosts],
+        smoothing: float = 0.5,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self._costs: Dict[OperatorKey, UnitCosts] = dict(initial)
+        self.smoothing = smoothing
+
+    @property
+    def unit_costs(self) -> Dict[OperatorKey, UnitCosts]:
+        return dict(self._costs)
+
+    def refresh(self, sim: FluidSimulation, warmup_s: float = 0.0) -> None:
+        """Fold a live estimate into the running profile.
+
+        The network estimate of a task whose downstream neighbours are
+        co-located under-counts (intra-worker channels are free), so the
+        blend keeps the maximum of old and new for the network
+        dimension — the profile must reflect what the operator *would*
+        emit if remote, which is what the cost model needs.
+        """
+        fresh = estimate_unit_costs(sim, warmup_s)
+        alpha = self.smoothing
+        for key, new in fresh.items():
+            if key not in self._costs:
+                self._costs[key] = new
+                continue
+            old = self._costs[key]
+            starved = new.selectivity == 0.0 and new.cpu_per_record == 0.0
+            if starved:
+                continue
+            self._costs[key] = UnitCosts(
+                cpu_per_record=(1 - alpha) * old.cpu_per_record
+                + alpha * new.cpu_per_record,
+                io_bytes_per_record=(1 - alpha) * old.io_bytes_per_record
+                + alpha * new.io_bytes_per_record,
+                net_bytes_per_record=max(
+                    old.net_bytes_per_record, new.net_bytes_per_record
+                ),
+                selectivity=(1 - alpha) * old.selectivity + alpha * new.selectivity,
+            )

@@ -1,0 +1,222 @@
+"""Threshold auto-tuning (paper section 5.2).
+
+Threshold-based pruning requires a factor vector ``alpha``; the ideal is
+the *minimum feasible* threshold, which yields the most resource-balanced
+plan the deployment admits. The auto-tuner finds it in two phases:
+
+- **Phase 1**: for each dimension in isolation (the other dimensions
+  disabled), start from the tightest possible bound (a perfectly
+  balanced placement, ``alpha = 0``) and geometrically relax it until a
+  satisfying plan exists.
+- **Phase 2**: jointly applying the three per-dimension minima is not
+  guaranteed feasible, so all three are relaxed *together* by the phase-2
+  relaxation factor until a plan satisfying the full vector exists.
+
+Both phases use a configurable relaxation factor (the paper uses 1.1 for
+both) and an overall timeout for early exit on infeasible configurations.
+Because the result depends only on the query graph and the resources, the
+paper precomputes thresholds for candidate scaling scenarios offline;
+:func:`precompute_thresholds` implements that."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.cost_model import CostModel, CostVector, DIMENSIONS, TaskCosts
+from repro.core.search import CapsSearch, SearchLimits
+
+
+@dataclass
+class AutoTuneResult:
+    """Outcome of one auto-tuning run."""
+
+    thresholds: CostVector
+    phase1_minima: CostVector
+    iterations: int
+    duration_s: float
+    timed_out: bool
+
+    @property
+    def feasible(self) -> bool:
+        return all(math.isfinite(self.thresholds[d]) for d in DIMENSIONS)
+
+
+class ThresholdAutoTuner:
+    """Finds the minimum feasible pruning threshold vector.
+
+    Args:
+        cost_model: Cost model for the deployment being tuned.
+        relaxation_phase1: Multiplicative step for single-dimension
+            relaxation (paper default 1.1).
+        relaxation_phase2: Multiplicative step for joint relaxation
+            (paper default 1.1).
+        initial_alpha: First non-zero threshold tried after the exact
+            ``alpha = 0`` probe fails.
+        timeout_s: Overall wall-clock budget ("users can set a timeout
+            value that allows exiting the search early").
+        search_timeout_s: Budget for each individual feasibility probe.
+        reorder: Forwarded to the underlying searches.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        relaxation_phase1: float = 1.1,
+        relaxation_phase2: float = 1.1,
+        initial_alpha: float = 0.01,
+        timeout_s: float = 5.0,
+        search_timeout_s: Optional[float] = None,
+        probe_max_nodes: Optional[int] = 500_000,
+        reorder: bool = True,
+        sensitivity_kappa: float = 0.9,
+    ) -> None:
+        if relaxation_phase1 <= 1.0 or relaxation_phase2 <= 1.0:
+            raise ValueError("relaxation factors must be > 1")
+        if not 0.0 < initial_alpha <= 1.0:
+            raise ValueError("initial_alpha must be in (0, 1]")
+        if timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        self.cost_model = cost_model
+        self.relaxation_phase1 = relaxation_phase1
+        self.relaxation_phase2 = relaxation_phase2
+        self.initial_alpha = initial_alpha
+        self.timeout_s = timeout_s
+        self.search_timeout_s = search_timeout_s
+        #: Node budget per feasibility probe. An infeasible probe close
+        #: to the feasibility boundary can expand an exponential
+        #: frontier before proving emptiness; capping it treats
+        #: "couldn't find a plan within the budget" as infeasible, which
+        #: only errs toward slightly looser (still feasible) thresholds.
+        self.probe_max_nodes = probe_max_nodes
+        self.reorder = reorder
+        #: Dimensions whose worst-case co-located load stays below this
+        #: fraction of one worker's capacity are not tuned at all: their
+        #: imbalance cannot affect performance (paper Figure 5 shows the
+        #: same judgement for Q1-sliding's network dimension), so their
+        #: threshold stays fully relaxed instead of fighting the
+        #: sensitive dimensions during joint relaxation.
+        self.insensitive = set(cost_model.insensitive_dimensions(sensitivity_kappa))
+
+    # ------------------------------------------------------------------
+    def _feasible(
+        self, thresholds: Mapping[str, float], deadline: float
+    ) -> bool:
+        """Whether any plan satisfies ``thresholds`` (first-plan probe)."""
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise _TimeoutSignal
+        probe_timeout = remaining
+        if self.search_timeout_s is not None:
+            probe_timeout = min(probe_timeout, self.search_timeout_s)
+        search = CapsSearch(
+            self.cost_model,
+            thresholds=dict(thresholds),
+            reorder=self.reorder,
+            collect_pareto=False,
+        )
+        result = search.run(
+            SearchLimits(
+                first_satisfying=True,
+                timeout_s=probe_timeout,
+                max_nodes=self.probe_max_nodes,
+            )
+        )
+        return result.found
+
+    def _relax_single(self, dimension: str, deadline: float) -> Tuple[float, int]:
+        """Phase 1 for one dimension: minimum feasible alpha, iterations."""
+        iterations = 0
+        alpha = 0.0
+        while True:
+            iterations += 1
+            thresholds = {d: math.inf for d in DIMENSIONS}
+            thresholds[dimension] = alpha
+            if self._feasible(thresholds, deadline):
+                return alpha, iterations
+            if alpha == 0.0:
+                alpha = self.initial_alpha
+            else:
+                alpha *= self.relaxation_phase1
+            if alpha > 1.0 + 1e-9:
+                # alpha = 1 admits every slot-feasible plan by construction
+                # (C_i <= 1 always); reaching this point means slots are
+                # infeasible, which the search constructor rejects earlier.
+                return 1.0, iterations
+
+    # ------------------------------------------------------------------
+    def tune(self) -> AutoTuneResult:
+        """Run both phases and return the minimum feasible vector."""
+        started = time.monotonic()
+        deadline = started + self.timeout_s
+        iterations = 0
+        timed_out = False
+        minima: Dict[str, float] = {d: 1.0 for d in DIMENSIONS}
+        joint: Dict[str, float] = dict(minima)
+        try:
+            for dim in DIMENSIONS:
+                if dim in self.insensitive:
+                    minima[dim] = 1.0
+                    continue
+                minima[dim], used = self._relax_single(dim, deadline)
+                iterations += used
+            joint = dict(minima)
+            # Phase 2: relax every dimension together by an additive step
+            # that grows geometrically with the relaxation factor. A
+            # purely multiplicative step would poison the vector whenever
+            # one dimension's isolated minimum is (near) zero — e.g. the
+            # network dimension, whose unconstrained optimum is the
+            # degenerate all-on-one-worker plan with C_net = 0: the near-
+            # zero entry crawls while the others blow past 1, and the
+            # first feasible vector then admits *only* heavily co-located
+            # plans. Equal additive steps keep the vector's structure, so
+            # the first feasible vector admits the balanced plan.
+            step = self.initial_alpha
+            while True:
+                iterations += 1
+                if self._feasible(joint, deadline):
+                    break
+                for dim in DIMENSIONS:
+                    if dim not in self.insensitive:
+                        joint[dim] = min(1.0, joint[dim] + step)
+                step *= self.relaxation_phase2
+                if all(joint[d] >= 1.0 for d in DIMENSIONS):
+                    # Fully relaxed: feasible iff slots fit, which holds.
+                    break
+        except _TimeoutSignal:
+            timed_out = True
+            joint = {d: max(joint[d], minima[d]) for d in DIMENSIONS}
+        return AutoTuneResult(
+            thresholds=CostVector(**joint),
+            phase1_minima=CostVector(**minima),
+            iterations=iterations,
+            duration_s=time.monotonic() - started,
+            timed_out=timed_out,
+        )
+
+
+class _TimeoutSignal(Exception):
+    """Raised internally when the overall auto-tune deadline passes."""
+
+
+def precompute_thresholds(
+    scenarios: Iterable[Tuple[str, CostModel]],
+    timeout_s: float = 5.0,
+    **tuner_kwargs,
+) -> Dict[str, AutoTuneResult]:
+    """Offline threshold precomputation over candidate scaling scenarios.
+
+    The paper notes (section 5.2) that auto-tuning depends only on the
+    query graph and the available resources, so thresholds for plausible
+    parallelism combinations can be computed offline and looked up when
+    scaling triggers at runtime. ``scenarios`` maps a scenario label
+    (e.g. a serialised parallelism vector) to the cost model describing
+    it; the result maps each label to its tuned thresholds.
+    """
+    results: Dict[str, AutoTuneResult] = {}
+    for label, cost_model in scenarios:
+        tuner = ThresholdAutoTuner(cost_model, timeout_s=timeout_s, **tuner_kwargs)
+        results[label] = tuner.tune()
+    return results

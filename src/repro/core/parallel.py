@@ -1,0 +1,187 @@
+"""Parallel placement search (paper section 5.1).
+
+"CAPS parallelizes the search by leveraging a configurable thread pool.
+Each thread is initially assigned to a random partition of the search
+space ... Threads cache any satisfactory plan they identify locally.
+When the search space has been fully explored, threads merge their
+results and return the pareto-optimal solution."
+
+We partition the search space by the first outer layer: the feasible
+assignments of the first operator's tasks are enumerated up front (with
+the same duplicate-elimination and load-bound rules as the sequential
+search) and dealt round-robin to worker threads. Each thread runs a full
+DFS beneath its seeds and maintains a private pareto front; fronts are
+merged at the end. For first-satisfying mode, a shared event cancels the
+remaining threads once any thread finds a plan.
+
+Note: CPython's GIL serialises pure-Python execution, so wall-clock
+speedup is limited; the implementation preserves the paper's structure
+(and its work-partitioning semantics) rather than its constants.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cost_model import CostModel, CostVector
+from repro.core.pareto import ParetoFront
+from repro.core.search import (
+    CapsSearch,
+    SearchLimits,
+    SearchResult,
+    SearchStats,
+    _EPS,
+    _StopSearch,
+)
+
+
+def enumerate_layer_assignments(search: CapsSearch) -> List[List[int]]:
+    """All feasible first-layer count vectors, duplicate-eliminated.
+
+    Mirrors the inner-search enumeration rules for layer 0 only: slot
+    capacities, non-increasing counts within worker equivalence groups,
+    and the cpu/io load bounds.
+    """
+    layer = search.layers[0]
+    bounds = search.bounds
+    slots = [search.cost_model.cluster.slots_of(w) for w in search.worker_ids]
+    groups = search._spec_group
+    vectors: List[List[int]] = []
+    counts = [0] * len(slots)
+
+    def cap_from_bound(u: float, bound: float) -> int:
+        if u <= 0 or math.isinf(bound):
+            return layer.count
+        return int(math.floor((bound + _EPS) / u))
+
+    per_worker_cap = min(
+        cap_from_bound(layer.u_cpu, bounds["cpu"]),
+        cap_from_bound(layer.u_io, bounds["io"]),
+    )
+
+    def place(position: int, remaining: int, last_in_group: Dict[int, int]) -> None:
+        if position == len(slots):
+            if remaining == 0:
+                vectors.append(list(counts))
+            return
+        group = groups[position]
+        ub = min(slots[position], remaining, per_worker_cap)
+        if group in last_in_group:
+            ub = min(ub, last_in_group[group])
+        for c in range(0, ub + 1):
+            absorb = 0
+            for later in range(position + 1, len(slots)):
+                cap = min(slots[later], per_worker_cap)
+                later_group = groups[later]
+                if later_group == group:
+                    cap = min(cap, c)
+                elif later_group in last_in_group:
+                    cap = min(cap, last_in_group[later_group])
+                absorb += cap
+            if c + absorb < remaining:
+                continue
+            counts[position] = c
+            prev = last_in_group.get(group)
+            last_in_group[group] = c
+            place(position + 1, remaining - c, last_in_group)
+            if prev is None:
+                del last_in_group[group]
+            else:
+                last_in_group[group] = prev
+            counts[position] = 0
+
+    place(0, layer.count, {})
+    return vectors
+
+
+class ParallelCapsSearch:
+    """Thread-pool driver over a :class:`CapsSearch` configuration."""
+
+    def __init__(self, search: CapsSearch, threads: int = 4) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.search = search
+        self.threads = threads
+
+    def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
+        limits = limits or SearchLimits()
+        started = time.monotonic()
+        seeds = enumerate_layer_assignments(self.search)
+        if not seeds:
+            return SearchResult(
+                best_plan=None,
+                best_cost=None,
+                pareto=ParetoFront(),
+                stats=SearchStats(duration_s=time.monotonic() - started),
+            )
+        partitions: List[List[List[int]]] = [[] for _ in range(self.threads)]
+        for i, seed in enumerate(seeds):
+            partitions[i % self.threads].append(seed)
+        partitions = [p for p in partitions if p]
+
+        stop_event = threading.Event()
+        results: List[Tuple[ParetoFront, SearchStats, Optional[Tuple]]] = []
+
+        def worker(my_seeds: List[List[int]]):
+            state = self.search.make_state(limits)
+            state.stop_event = stop_event
+            layer = self.search.layers[0]
+            first: Optional[Tuple] = None
+            try:
+                for seed in my_seeds:
+                    # Apply layer-0 loads, then let the DFS continue below.
+                    for w, c in enumerate(seed):
+                        state.free[w] -= c
+                        state.load_cpu[w] += c * layer.u_cpu
+                        state.load_io[w] += c * layer.u_io
+                    try:
+                        state._on_layer_complete(0, layer, seed)
+                    finally:
+                        for w, c in enumerate(seed):
+                            state.free[w] += c
+                            state.load_cpu[w] -= c * layer.u_cpu
+                            state.load_io[w] -= c * layer.u_io
+            except _StopSearch:
+                state.stats.exhausted = False
+            if state.first_plan is not None:
+                first = state.first_plan
+                stop_event.set()
+            results.append((state.front, state.stats, first))
+
+        with ThreadPoolExecutor(max_workers=len(partitions)) as pool:
+            futures = [pool.submit(worker, part) for part in partitions]
+            for future in futures:
+                future.result()
+
+        merged_front: ParetoFront = ParetoFront(capacity=self.search.pareto_capacity)
+        merged_stats = SearchStats()
+        first_hit: Optional[Tuple] = None
+        for front, stats, first in results:
+            merged_front.merge(front)
+            merged_stats.nodes += stats.nodes
+            merged_stats.plans_found += stats.plans_found
+            merged_stats.pruned_slots += stats.pruned_slots
+            merged_stats.pruned_cpu += stats.pruned_cpu
+            merged_stats.pruned_io += stats.pruned_io
+            merged_stats.pruned_net += stats.pruned_net
+            merged_stats.exhausted = merged_stats.exhausted and stats.exhausted
+            if first is not None and first_hit is None:
+                first_hit = first
+        merged_stats.duration_s = time.monotonic() - started
+
+        best_plan = best_cost = None
+        if first_hit is not None:
+            best_plan, best_cost = first_hit
+        best_entry = merged_front.best(self.search.selection_weights)
+        if best_entry is not None:
+            best_cost, best_plan = best_entry
+        return SearchResult(
+            best_plan=best_plan,
+            best_cost=best_cost,
+            pareto=merged_front,
+            stats=merged_stats,
+        )

@@ -1,0 +1,94 @@
+"""Pareto-front bookkeeping over placement cost vectors.
+
+CAPS employs three independent objective functions (min C_cpu, min C_io,
+min C_net; paper section 4.2 "Objective functions") and returns a
+*pareto-optimal* plan: one whose cost vector is not dominated by any
+other feasible plan. During the search, worker threads "cache any
+satisfactory plan they identify locally" and the fronts are merged at
+the end (section 5.1); :class:`ParetoFront` is that cache.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
+
+from repro.core.cost_model import CostVector
+
+T = TypeVar("T")
+
+
+class ParetoFront(Generic[T]):
+    """An online pareto front of (cost vector, payload) entries.
+
+    Inserting an entry drops it if dominated and evicts entries it
+    dominates, so the front stays minimal. The payload is typically a
+    :class:`~repro.core.plan.PlacementPlan` (or, inside the search, the
+    compact per-operator count encoding of one).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds the front size; when full, inserting a
+        non-dominated entry evicts the entry with the largest scalarised
+        cost (keeping the front's best corner intact)."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._entries: List[Tuple[CostVector, T]] = []
+        self._capacity = capacity
+
+    def would_accept(self, cost: CostVector) -> bool:
+        """Whether an entry with this cost would survive insertion.
+
+        Lets callers avoid materialising an expensive payload (a full
+        placement plan) for dominated candidates.
+        """
+        return not any(
+            existing.dominates(cost) or existing.as_tuple() == cost.as_tuple()
+            for existing, _ in self._entries
+        )
+
+    def insert(self, cost: CostVector, payload: T) -> bool:
+        """Insert an entry; returns True if it survives on the front."""
+        for existing, _ in self._entries:
+            if existing.dominates(cost) or existing.as_tuple() == cost.as_tuple():
+                return False
+        self._entries = [
+            (c, p) for c, p in self._entries if not cost.dominates(c)
+        ]
+        self._entries.append((cost, payload))
+        if self._capacity is not None and len(self._entries) > self._capacity:
+            worst = max(range(len(self._entries)), key=lambda i: self._entries[i][0].total())
+            self._entries.pop(worst)
+        return True
+
+    def merge(self, other: "ParetoFront[T]") -> None:
+        """Merge another front into this one (thread-result merging)."""
+        for cost, payload in other.entries():
+            self.insert(cost, payload)
+
+    def entries(self) -> List[Tuple[CostVector, T]]:
+        return list(self._entries)
+
+    def best(self, weights=None) -> Optional[Tuple[CostVector, T]]:
+        """The front entry with minimal scalarised cost.
+
+        The paper's objective (Eq. 3) asks for a minimum-cost plan; when
+        the front has multiple non-dominated corners we scalarise by the
+        (optionally weighted) sum of the three normalised dimensions.
+        Dimensions the deployment is not performance-sensitive to should
+        carry near-zero weight — their imbalance is cosmetic and must
+        not trade away balance in a dimension that matters.
+        """
+        if not self._entries:
+            return None
+        return min(
+            self._entries, key=lambda entry: entry[0].weighted_total(weights)
+        )
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,205 @@
+"""Task placement plans.
+
+A *task placement plan* is a mapping ``f: V_p -> V_w`` assigning each
+task of the physical execution graph to exactly one worker (paper Eq. 1)
+such that no worker receives more tasks than it has slots (Eq. 2).
+
+Plans are value objects: hashable via their canonical signature, so that
+two plans that differ only by a permutation of interchangeable workers
+can be recognised as equivalent (the property the search's duplicate
+elimination exploits, section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.dataflow.cluster import Cluster
+from repro.dataflow.physical import PhysicalGraph, Task
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan violates the constraints of paper Eq. 1-2."""
+
+
+class PlacementPlan:
+    """An immutable task-to-worker mapping.
+
+    Args:
+        assignment: Mapping from task uid to worker id. Every task of the
+            physical graph the plan is used with must appear exactly once.
+    """
+
+    __slots__ = ("_assignment", "_hash")
+
+    def __init__(self, assignment: Mapping[str, int]) -> None:
+        self._assignment: Dict[str, int] = dict(assignment)
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_task_map(cls, mapping: Mapping[Task, int]) -> "PlacementPlan":
+        return cls({task.uid: worker for task, worker in mapping.items()})
+
+    @classmethod
+    def from_operator_counts(
+        cls,
+        physical: PhysicalGraph,
+        counts: Mapping[Tuple[str, str], Mapping[int, int]],
+    ) -> "PlacementPlan":
+        """Build a plan from per-operator worker counts.
+
+        ``counts[(job_id, operator)][worker_id]`` gives how many tasks of
+        that operator go on that worker. Because tasks of one operator
+        are interchangeable (section 4.1 model assumptions), assigning
+        them to workers in index order is canonical.
+        """
+        assignment: Dict[str, int] = {}
+        for key in physical.operator_keys():
+            tasks = physical.operator_tasks(*key)
+            per_worker = counts.get(key, {})
+            expanded: List[int] = []
+            for worker_id in sorted(per_worker):
+                expanded.extend([worker_id] * per_worker[worker_id])
+            if len(expanded) != len(tasks):
+                raise PlanValidationError(
+                    f"operator {key} has {len(tasks)} tasks but counts place "
+                    f"{len(expanded)}"
+                )
+            for task, worker_id in zip(tasks, expanded):
+                assignment[task.uid] = worker_id
+        return cls(assignment)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def worker_of(self, task: Task) -> int:
+        """The worker a task is assigned to (paper: ``f(t)``)."""
+        try:
+            return self._assignment[task.uid]
+        except KeyError:
+            raise PlanValidationError(f"task {task.uid!r} is not placed") from None
+
+    def worker_of_uid(self, uid: str) -> int:
+        try:
+            return self._assignment[uid]
+        except KeyError:
+            raise PlanValidationError(f"task {uid!r} is not placed") from None
+
+    @property
+    def assignment(self) -> Dict[str, int]:
+        return dict(self._assignment)
+
+    def tasks_on(self, worker_id: int) -> List[str]:
+        """Uids of tasks placed on a worker, sorted for determinism."""
+        return sorted(uid for uid, w in self._assignment.items() if w == worker_id)
+
+    def worker_ids(self) -> List[int]:
+        """Workers that received at least one task."""
+        return sorted(set(self._assignment.values()))
+
+    def slot_usage(self) -> Dict[int, int]:
+        """Number of assigned tasks per worker."""
+        usage: Dict[int, int] = {}
+        for worker in self._assignment.values():
+            usage[worker] = usage.get(worker, 0) + 1
+        return usage
+
+    def operator_counts(
+        self, physical: PhysicalGraph
+    ) -> Dict[Tuple[str, str], Dict[int, int]]:
+        """Per-operator worker counts (the inverse of from_operator_counts)."""
+        counts: Dict[Tuple[str, str], Dict[int, int]] = {}
+        for task in physical.tasks:
+            key = (task.job_id, task.operator)
+            worker = self.worker_of(task)
+            counts.setdefault(key, {})
+            counts[key][worker] = counts[key].get(worker, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    # ------------------------------------------------------------------
+    # Validation (paper Eq. 1-2)
+    # ------------------------------------------------------------------
+    def validate(self, physical: PhysicalGraph, cluster: Cluster) -> None:
+        """Raise :class:`PlanValidationError` unless Eq. 1-2 hold.
+
+        Eq. 1: every task of the physical graph is assigned to exactly
+        one worker, and no extraneous tasks are assigned. Eq. 2: per
+        worker, assigned tasks do not exceed available slots.
+        """
+        expected = {task.uid for task in physical.tasks}
+        actual = set(self._assignment)
+        missing = expected - actual
+        if missing:
+            raise PlanValidationError(f"unplaced tasks: {sorted(missing)[:5]} ...")
+        extra = actual - expected
+        if extra:
+            raise PlanValidationError(f"unknown tasks placed: {sorted(extra)[:5]} ...")
+
+        known_workers = {w.worker_id for w in cluster.workers}
+        for uid, worker_id in self._assignment.items():
+            if worker_id not in known_workers:
+                raise PlanValidationError(
+                    f"task {uid!r} placed on unknown worker {worker_id}"
+                )
+        for worker_id, used in self.slot_usage().items():
+            slots = cluster.slots_of(worker_id)
+            if used > slots:
+                raise PlanValidationError(
+                    f"worker {worker_id} got {used} tasks but has {slots} slots"
+                )
+
+    # ------------------------------------------------------------------
+    # Canonical identity
+    # ------------------------------------------------------------------
+    def canonical_signature(
+        self, physical: PhysicalGraph
+    ) -> FrozenSet[Tuple[Tuple[Tuple[str, str], int], ...]]:
+        """A worker-permutation-invariant identity for the plan.
+
+        Two plans have equal signatures iff one can be obtained from the
+        other by (i) permuting tasks of the same operator and (ii)
+        permuting entire workers. This is exactly the equivalence class
+        the paper's duplicate elimination (section 4.3) collapses, so the
+        search's enumeration can be tested against brute force.
+
+        Note the signature intentionally ignores worker identity and is
+        therefore only valid for homogeneous clusters.
+        """
+        per_worker: Dict[int, Dict[Tuple[str, str], int]] = {}
+        for task in physical.tasks:
+            worker = self.worker_of(task)
+            key = (task.job_id, task.operator)
+            per_worker.setdefault(worker, {})
+            per_worker[worker][key] = per_worker[worker].get(key, 0) + 1
+        bags = []
+        for counts in per_worker.values():
+            bags.append(tuple(sorted(counts.items())))
+        return frozenset(_count_multiset(bags))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlacementPlan):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(sorted(self._assignment.items())))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        usage = self.slot_usage()
+        return f"PlacementPlan(tasks={len(self)}, workers={len(usage)})"
+
+
+def _count_multiset(bags: Iterable[Tuple]) -> List[Tuple[Tuple, int]]:
+    """Turn a list of hashable bags into (bag, multiplicity) pairs."""
+    counts: Dict[Tuple, int] = {}
+    for bag in bags:
+        counts[bag] = counts.get(bag, 0) + 1
+    return sorted(counts.items())

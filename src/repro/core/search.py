@@ -1,0 +1,583 @@
+"""Contention-Aware Placement Search (paper sections 4.3-4.4).
+
+The search space of feasible plans is a tree navigated depth-first:
+
+- the **outer search** explores one operator per layer of the tree, in
+  either topological order or the cost-ranked order of
+  :mod:`repro.core.reorder`;
+- the **inner search** expands each node worker by worker, assigning a
+  count of the operator's (identical) tasks to each worker;
+- **duplicate elimination** treats workers with identical partial
+  assignments as interchangeable: within each equivalence group, task
+  counts are forced to be non-increasing, so each equivalence class of
+  plans is enumerated exactly once (paper Figure 4c);
+- **threshold pruning** (section 4.4.1) cuts a branch as soon as any
+  worker's accumulated load exceeds the Eq. 10 bound
+  ``L_min + alpha (L_max - L_min)`` in any dimension, which is safe
+  because per-worker loads grow monotonically down the tree.
+
+Network loads are resolved incrementally: a physical edge contributes to
+worker loads at the layer where its *second* endpoint operator is
+placed, at which point the number of cross-worker links is known. The
+resolved load is a monotone lower bound of the final network load, so
+pruning on it is safe.
+
+Skew extension (paper section 5.2 "Addressing data skew"): tasks of one
+operator with *different* utilisations (e.g. produced by a skew-aware
+partitioner) are automatically split into separate *placement groups*,
+each explored as its own outer layer.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.cost_model import CostModel, CostVector, DIMENSIONS
+from repro.core.pareto import ParetoFront
+from repro.core.plan import PlacementPlan
+from repro.core.reorder import exploration_order
+
+OperatorKey = Tuple[str, str]
+
+_EPS = 1e-9
+_DEADLINE_CHECK_INTERVAL = 4096
+
+
+@dataclass
+class SearchLimits:
+    """Resource limits for one search invocation.
+
+    Attributes:
+        max_nodes: Stop after expanding this many inner-search nodes.
+        max_plans: Stop after discovering this many satisfying plans.
+        timeout_s: Wall-clock budget; the search returns its best-so-far.
+        first_satisfying: Return as soon as one satisfying plan is found
+            (the mode timed by Figure 10a).
+    """
+
+    max_nodes: Optional[int] = None
+    max_plans: Optional[int] = None
+    timeout_s: Optional[float] = None
+    first_satisfying: bool = False
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one search run (the quantities of Table 2)."""
+
+    nodes: int = 0
+    plans_found: int = 0
+    pruned_slots: int = 0
+    pruned_cpu: int = 0
+    pruned_io: int = 0
+    pruned_net: int = 0
+    duration_s: float = 0.0
+    exhausted: bool = True
+
+    @property
+    def pruned_total(self) -> int:
+        return self.pruned_slots + self.pruned_cpu + self.pruned_io + self.pruned_net
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search: the chosen plan, its cost, and diagnostics."""
+
+    best_plan: Optional[PlacementPlan]
+    best_cost: Optional[CostVector]
+    pareto: ParetoFront
+    stats: SearchStats
+    #: Every satisfying plan with its cost, populated only when the
+    #: search ran with ``collect_all=True`` (exhaustive studies).
+    all_plans: List[Tuple[CostVector, PlacementPlan]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.best_plan is not None
+
+
+@dataclass
+class _Layer:
+    """One outer-search layer: a group of identical tasks to place."""
+
+    key: OperatorKey
+    task_uids: List[str]
+    u_cpu: float
+    u_io: float
+    u_net: float
+    d_total: int  # |D(t)| of each task in this layer
+    # Net-resolution entries: edges whose other endpoint layer is already
+    # placed when this layer completes. Each entry is
+    # (other_layer_index, direction, forward) where direction is "out" if
+    # this layer's tasks are the emitters.
+    resolutions: List[Tuple[int, str, bool]] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.task_uids)
+
+
+class _StopSearch(Exception):
+    """Internal control-flow signal: a limit fired, unwind the DFS."""
+
+
+def _as_cost_vector(
+    thresholds: Union[CostVector, Mapping[str, float], None]
+) -> CostVector:
+    if thresholds is None:
+        return CostVector.unbounded()
+    if isinstance(thresholds, CostVector):
+        return thresholds
+    return CostVector(
+        cpu=float(thresholds.get("cpu", math.inf)),
+        io=float(thresholds.get("io", math.inf)),
+        net=float(thresholds.get("net", math.inf)),
+    )
+
+
+class CapsSearch:
+    """A configured CAPS search over one (physical graph, cluster) pair.
+
+    Args:
+        cost_model: The cost model binding graph, cluster, and task costs.
+        thresholds: The pruning factor vector (paper Eq. 9). Missing or
+            infinite entries disable pruning for that dimension.
+        reorder: Apply exploration reordering (section 4.4.2).
+        order: Explicit operator exploration order (overrides reorder).
+        collect_pareto: Maintain the satisfying-plan pareto front. Turn
+            off for pure counting runs (Table 2) to avoid plan
+            construction overhead.
+        pareto_capacity: Bound on the retained front size.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        thresholds: Union[CostVector, Mapping[str, float], None] = None,
+        reorder: bool = True,
+        order: Optional[Sequence[OperatorKey]] = None,
+        collect_pareto: bool = True,
+        pareto_capacity: int = 64,
+        collect_all: bool = False,
+        selection_weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.thresholds = _as_cost_vector(thresholds)
+        for dim in DIMENSIONS:
+            alpha = self.thresholds[dim]
+            if alpha < 0:
+                raise ValueError(f"threshold alpha_{dim} must be >= 0")
+        self.collect_pareto = collect_pareto
+        self.pareto_capacity = pareto_capacity
+        self.collect_all = collect_all
+        #: Per-dimension weights for picking one plan off the pareto
+        #: front; insensitive dimensions get near-zero weight (see
+        #: CostModel.insensitive_dimensions).
+        self.selection_weights = dict(selection_weights) if selection_weights else None
+
+        physical = cost_model.physical
+        if order is None:
+            order = exploration_order(cost_model.costs, reorder=reorder)
+        else:
+            expected = set(physical.operator_keys())
+            if set(order) != expected or len(order) != len(expected):
+                raise ValueError("explicit order must be a permutation of operators")
+        self._order: List[OperatorKey] = list(order)
+        self._layers: List[_Layer] = self._build_layers()
+        # Load bounds carry a relative tolerance: partial loads are sums
+        # of floats accumulated in arbitrary order, so an exact-boundary
+        # plan (alpha = 1, or L == bound) must not be lost to the last
+        # bit of a large-magnitude sum.
+        self._bounds: Dict[str, float] = {}
+        for dim in DIMENSIONS:
+            bound = cost_model.load_bound(dim, self.thresholds[dim])
+            if math.isfinite(bound):
+                bound += _EPS + 1e-9 * abs(bound)
+            self._bounds[dim] = bound
+
+        cluster = cost_model.cluster
+        self._worker_ids: List[int] = [w.worker_id for w in cluster.workers]
+        self._slots: List[int] = [w.slots for w in cluster.workers]
+        self._spec_group: List[int] = self._spec_groups()
+        total_tasks = sum(layer.count for layer in self._layers)
+        if total_tasks > sum(self._slots):
+            raise ValueError(
+                f"{total_tasks} tasks exceed the cluster's {sum(self._slots)} slots"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_layers(self) -> List[_Layer]:
+        physical = self.cost_model.physical
+        costs = self.cost_model.costs
+        layers: List[_Layer] = []
+        layer_of_operator: Dict[OperatorKey, List[int]] = {}
+        for key in self._order:
+            tasks = physical.operator_tasks(*key)
+            # Split the operator into placement groups of identical tasks
+            # (usually a single group; several under data skew).
+            groups: Dict[Tuple[float, float, float, int], List[str]] = {}
+            for task in tasks:
+                sig = (
+                    costs.u_cpu[task.uid],
+                    costs.u_io[task.uid],
+                    costs.u_net[task.uid],
+                    physical.downstream_degree(task),
+                )
+                groups.setdefault(sig, []).append(task.uid)
+            layer_of_operator[key] = []
+            for sig in sorted(groups):
+                u_cpu, u_io, u_net, d_total = sig
+                layers.append(
+                    _Layer(
+                        key=key,
+                        task_uids=sorted(groups[sig]),
+                        u_cpu=u_cpu,
+                        u_io=u_io,
+                        u_net=u_net,
+                        d_total=d_total,
+                    )
+                )
+                layer_of_operator[key].append(len(layers) - 1)
+
+        # Register net-resolution entries: each physical edge (as an
+        # operator pair) resolves at the later-placed layer. An operator
+        # pair is a FORWARD edge iff it carries exactly one channel per
+        # endpoint task (one-to-one pairing).
+        channel_count: Dict[Tuple[OperatorKey, OperatorKey], int] = {}
+        for channel in physical.channels:
+            src_key = (channel.src.job_id, channel.src.operator)
+            dst_key = (channel.dst.job_id, channel.dst.operator)
+            pair = (src_key, dst_key)
+            channel_count[pair] = channel_count.get(pair, 0) + 1
+        seen_edges: Dict[Tuple[OperatorKey, OperatorKey], bool] = {}
+        for (src_key, dst_key), n_channels in channel_count.items():
+            p_src = len(physical.operator_tasks(*src_key))
+            p_dst = len(physical.operator_tasks(*dst_key))
+            seen_edges[(src_key, dst_key)] = n_channels == p_src == p_dst
+        for (src_key, dst_key), forward in seen_edges.items():
+            for src_idx in layer_of_operator[src_key]:
+                for dst_idx in layer_of_operator[dst_key]:
+                    later = max(src_idx, dst_idx)
+                    other = min(src_idx, dst_idx)
+                    direction = "out" if later == dst_idx else "in"
+                    # direction describes the OTHER layer's role relative
+                    # to the later layer: "out" means the earlier layer
+                    # emits into the later one.
+                    layers[later].resolutions.append((other, direction, forward))
+        return layers
+
+    def _spec_groups(self) -> List[int]:
+        """Initial equivalence-group id per worker (identical specs)."""
+        cluster = self.cost_model.cluster
+        spec_ids: Dict[object, int] = {}
+        groups: List[int] = []
+        for worker in cluster.workers:
+            spec_ids.setdefault(worker.spec, len(spec_ids))
+            groups.append(spec_ids[worker.spec])
+        return groups
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
+        """Execute the DFS and return the (pareto-)best satisfying plan."""
+        limits = limits or SearchLimits()
+        state = _SearchState(self, limits)
+        started = time.monotonic()
+        try:
+            state.descend_layer(0)
+        except _StopSearch:
+            state.stats.exhausted = False
+        state.stats.duration_s = time.monotonic() - started
+
+        best_plan: Optional[PlacementPlan] = None
+        best_cost: Optional[CostVector] = None
+        if state.first_plan is not None:
+            best_plan, best_cost = state.first_plan
+        best_entry = state.front.best(self.selection_weights)
+        if best_entry is not None:
+            best_cost, best_plan = best_entry
+        if best_plan is None and state.all_plans:
+            best_cost, best_plan = min(
+                state.all_plans,
+                key=lambda entry: entry[0].weighted_total(self.selection_weights),
+            )
+        return SearchResult(
+            best_plan=best_plan,
+            best_cost=best_cost,
+            pareto=state.front,
+            stats=state.stats,
+            all_plans=state.all_plans,
+        )
+
+    # Exposed for the parallel driver -----------------------------------
+    @property
+    def layers(self) -> List[_Layer]:
+        return self._layers
+
+    @property
+    def bounds(self) -> Dict[str, float]:
+        return dict(self._bounds)
+
+    @property
+    def worker_ids(self) -> List[int]:
+        return list(self._worker_ids)
+
+    def make_state(self, limits: SearchLimits) -> "_SearchState":
+        return _SearchState(self, limits)
+
+
+class _SearchState:
+    """Mutable DFS state: per-worker loads, counts, and statistics."""
+
+    def __init__(self, search: CapsSearch, limits: SearchLimits) -> None:
+        self.search = search
+        self.limits = limits
+        self.stats = SearchStats()
+        self.front: ParetoFront[PlacementPlan] = ParetoFront(
+            capacity=search.pareto_capacity
+        )
+        self.first_plan: Optional[Tuple[PlacementPlan, CostVector]] = None
+        self.all_plans: List[Tuple[CostVector, PlacementPlan]] = []
+
+        worker_count = len(search.worker_ids)
+        self.free: List[int] = list(search._slots)
+        self.load_cpu: List[float] = [0.0] * worker_count
+        self.load_io: List[float] = [0.0] * worker_count
+        self.load_net: List[float] = [0.0] * worker_count
+        # counts[layer][worker] once a layer is placed
+        self.counts: List[Optional[List[int]]] = [None] * len(search.layers)
+        # Worker equivalence-group ids, refreshed per layer.
+        self.base_groups: List[int] = list(search._spec_group)
+        self.histories: List[Tuple[int, ...]] = [() for _ in range(worker_count)]
+        self._deadline = (
+            time.monotonic() + limits.timeout_s if limits.timeout_s else None
+        )
+        self._node_tick = 0
+        #: Optional cross-thread cancellation flag (set by the parallel
+        #: driver when another thread already found a satisfying plan).
+        self.stop_event = None
+
+    # ------------------------------------------------------------------
+    def _note_node(self) -> None:
+        self.stats.nodes += 1
+        limits = self.limits
+        if limits.max_nodes is not None and self.stats.nodes >= limits.max_nodes:
+            raise _StopSearch
+        self._node_tick += 1
+        if self._node_tick >= _DEADLINE_CHECK_INTERVAL:
+            self._node_tick = 0
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                raise _StopSearch
+            if self.stop_event is not None and self.stop_event.is_set():
+                raise _StopSearch
+
+    # ------------------------------------------------------------------
+    def descend_layer(self, layer_idx: int) -> None:
+        if layer_idx == len(self.search.layers):
+            self._on_complete_plan()
+            return
+        layer = self.search.layers[layer_idx]
+        # Group ids for this layer: workers are interchangeable iff they
+        # share a spec group and an identical assignment history.
+        group_ids: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+        groups: List[int] = []
+        for w, history in enumerate(self.histories):
+            key = (self.base_groups[w], history)
+            group_ids.setdefault(key, len(group_ids))
+            groups.append(group_ids[key])
+        counts = [0] * len(self.free)
+        last_in_group: Dict[int, int] = {}
+        self._place_worker(layer_idx, layer, 0, layer.count, counts, groups, last_in_group)
+
+    def _place_worker(
+        self,
+        layer_idx: int,
+        layer: _Layer,
+        position: int,
+        remaining: int,
+        counts: List[int],
+        groups: List[int],
+        last_in_group: Dict[int, int],
+    ) -> None:
+        workers = self.search.worker_ids
+        if position == len(workers):
+            if remaining == 0:
+                self._on_layer_complete(layer_idx, layer, counts)
+            return
+        free = self.free[position]
+        group = groups[position]
+
+        # Upper bound: slots, remaining tasks, duplicate-elimination cap,
+        # and the cpu/io load bounds of Eq. 10.
+        ub = min(free, remaining)
+        if group in last_in_group:
+            ub = min(ub, last_in_group[group])
+        bounds = self.search._bounds
+        if layer.u_cpu > 0 and not math.isinf(bounds["cpu"]):
+            headroom = bounds["cpu"] + _EPS - self.load_cpu[position]
+            cap = int(math.floor(headroom / layer.u_cpu)) if headroom > 0 else -1
+            if cap < ub:
+                self.stats.pruned_cpu += 1
+                ub = cap
+        if layer.u_io > 0 and not math.isinf(bounds["io"]):
+            headroom = bounds["io"] + _EPS - self.load_io[position]
+            cap = int(math.floor(headroom / layer.u_io)) if headroom > 0 else -1
+            if cap < ub:
+                self.stats.pruned_io += 1
+                ub = cap
+        if ub < 0:
+            return
+
+        # Lower bound: the workers after this one must be able to absorb
+        # the leftover tasks given slot capacities and duplicate caps.
+        same_group_after = 0
+        absorb_other = 0
+        for later in range(position + 1, len(workers)):
+            later_group = groups[later]
+            if later_group == group:
+                same_group_after += 1
+            else:
+                cap = self.free[later]
+                if later_group in last_in_group:
+                    cap = min(cap, last_in_group[later_group])
+                absorb_other += cap
+        lb = 0
+        while lb <= ub:
+            absorbable = absorb_other + same_group_after * min(self.free[position], lb)
+            if lb + absorbable >= remaining:
+                break
+            lb += 1
+        if lb > ub:
+            self.stats.pruned_slots += 1
+            return
+
+        for c in range(lb, ub + 1):
+            self._note_node()
+            counts[position] = c
+            self.free[position] -= c
+            self.load_cpu[position] += c * layer.u_cpu
+            self.load_io[position] += c * layer.u_io
+            had_last = group in last_in_group
+            prev_last = last_in_group.get(group)
+            last_in_group[group] = c
+            try:
+                self._place_worker(
+                    layer_idx, layer, position + 1, remaining - c, counts, groups, last_in_group
+                )
+            finally:
+                if had_last:
+                    last_in_group[group] = prev_last  # type: ignore[assignment]
+                else:
+                    del last_in_group[group]
+                self.load_cpu[position] -= c * layer.u_cpu
+                self.load_io[position] -= c * layer.u_io
+                self.free[position] += c
+                counts[position] = 0
+
+    # ------------------------------------------------------------------
+    def _on_layer_complete(
+        self, layer_idx: int, layer: _Layer, counts: List[int]
+    ) -> None:
+        snapshot = list(counts)
+        self.counts[layer_idx] = snapshot
+        net_deltas = self._resolve_net(layer_idx, layer, snapshot)
+        bound_net = self.search._bounds["net"]
+        violated = any(
+            self.load_net[w] > bound_net + _EPS for w, _ in net_deltas
+        )
+        old_histories = self.histories
+        if not violated:
+            self.histories = [
+                history + (snapshot[w],) for w, history in enumerate(old_histories)
+            ]
+            try:
+                self.descend_layer(layer_idx + 1)
+            finally:
+                self.histories = old_histories
+        else:
+            self.stats.pruned_net += 1
+        for w, delta in net_deltas:
+            self.load_net[w] -= delta
+        self.counts[layer_idx] = None
+
+    def _resolve_net(
+        self, layer_idx: int, layer: _Layer, counts: List[int]
+    ) -> List[Tuple[int, float]]:
+        """Add the network load of edges whose second endpoint just placed.
+
+        Returns the applied (worker, delta) list so the caller can undo.
+        """
+        deltas: List[Tuple[int, float]] = []
+        layers = self.search.layers
+        for other_idx, direction, forward in layer.resolutions:
+            other = layers[other_idx]
+            other_counts = self.counts[other_idx]
+            if other_counts is None:  # pragma: no cover - defensive
+                continue
+            if direction == "out":
+                emitter, emitter_counts = other, other_counts
+                receiver, receiver_counts = layer, counts
+            else:
+                emitter, emitter_counts = layer, counts
+                receiver, receiver_counts = other, other_counts
+            if emitter.d_total == 0 or emitter.u_net == 0.0:
+                continue
+            p_receiver = receiver.count
+            for w in range(len(counts)):
+                c_e = emitter_counts[w]
+                if c_e == 0:
+                    continue
+                if forward:
+                    cross_links = max(0, c_e - receiver_counts[w])
+                    load = emitter.u_net * cross_links / emitter.d_total
+                else:
+                    cross_links = p_receiver - receiver_counts[w]
+                    load = (
+                        emitter.u_net * c_e * cross_links / emitter.d_total
+                    )
+                if load > 0.0:
+                    self.load_net[w] += load
+                    deltas.append((w, load))
+        return deltas
+
+    # ------------------------------------------------------------------
+    def _on_complete_plan(self) -> None:
+        self.stats.plans_found += 1
+        cost = self.search.cost_model.cost_from_loads(
+            {
+                "cpu": max(self.load_cpu),
+                "io": max(self.load_io),
+                "net": max(self.load_net),
+            }
+        )
+        if self.limits.first_satisfying and self.first_plan is None:
+            self.first_plan = (self._build_plan(), cost)
+            raise _StopSearch
+        if self.search.collect_all:
+            self.all_plans.append((cost, self._build_plan()))
+        if self.search.collect_pareto and self.front.would_accept(cost):
+            self.front.insert(cost, self._build_plan())
+        if (
+            self.limits.max_plans is not None
+            and self.stats.plans_found >= self.limits.max_plans
+        ):
+            raise _StopSearch
+
+    def _build_plan(self) -> PlacementPlan:
+        assignment: Dict[str, int] = {}
+        workers = self.search.worker_ids
+        for layer_idx, layer in enumerate(self.search.layers):
+            counts = self.counts[layer_idx]
+            assert counts is not None
+            cursor = 0
+            for position, count in enumerate(counts):
+                for _ in range(count):
+                    assignment[layer.task_uids[cursor]] = workers[position]
+                    cursor += 1
+        return PlacementPlan(assignment)

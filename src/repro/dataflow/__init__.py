@@ -1,0 +1,40 @@
+"""Dataflow model: logical graphs, physical execution graphs, and clusters.
+
+This subpackage implements the streaming dataflow concepts of paper
+section 2.1 ("Streaming dataflow concepts"):
+
+- a **logical graph** of operators connected by data streams
+  (:mod:`repro.dataflow.graph`),
+- its expansion into a **physical execution graph** of parallel tasks
+  connected by physical data channels (:mod:`repro.dataflow.physical`),
+- the slot-oriented **resource model** of homogeneous workers
+  (:mod:`repro.dataflow.cluster`), and
+- structural validation utilities (:mod:`repro.dataflow.validation`).
+"""
+
+from repro.dataflow.graph import LogicalEdge, LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import Channel, PhysicalGraph, Task
+from repro.dataflow.cluster import (
+    C5D_4XLARGE,
+    Cluster,
+    M5D_2XLARGE,
+    R5D_XLARGE,
+    Worker,
+    WorkerSpec,
+)
+
+__all__ = [
+    "LogicalEdge",
+    "LogicalGraph",
+    "OperatorSpec",
+    "Partitioning",
+    "Channel",
+    "PhysicalGraph",
+    "Task",
+    "Cluster",
+    "Worker",
+    "WorkerSpec",
+    "M5D_2XLARGE",
+    "C5D_4XLARGE",
+    "R5D_XLARGE",
+]

@@ -1,0 +1,450 @@
+"""Logical dataflow graphs.
+
+A streaming query is a directed acyclic graph whose vertices are *logical
+operators* and whose edges are *data streams* (paper section 2.1). Each
+operator carries a resource profile describing what one record costs to
+process across the three resource dimensions the CAPS cost model tracks:
+compute, state access (disk I/O), and network output.
+
+The resource profile fields correspond to the quantities CAPSys measures
+during its cost-profiling phase (paper section 5.1): CPU utilisation,
+uncompressed bytes read from / written to the state backend, and bytes
+emitted, all normalised per record.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class Partitioning(enum.Enum):
+    """How records flow from an upstream operator to a downstream one.
+
+    ``HASH`` and ``REBALANCE`` create all-to-all physical channels (every
+    upstream task connects to every downstream task), which is the shape
+    the CAPS network-cost model assumes by default. ``FORWARD`` creates
+    one-to-one channels and requires equal parallelism on both ends (the
+    shape produced by Flink operator chaining boundaries). ``BROADCAST``
+    replicates every record to every downstream task.
+    """
+
+    HASH = "hash"
+    REBALANCE = "rebalance"
+    FORWARD = "forward"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class GcSpikeProfile:
+    """Periodic CPU spike profile, used to model JVM garbage collection.
+
+    The paper observes (section 3.3) that the Q3-inf inference operator
+    "triggers garbage collection that introduces periodic CPU utilization
+    spikes". The simulator adds ``magnitude`` times the base CPU demand
+    during ``duration_s`` seconds out of every ``period_s`` seconds.
+    """
+
+    period_s: float = 30.0
+    duration_s: float = 5.0
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("gc spike period must be positive")
+        if not 0 <= self.duration_s <= self.period_s:
+            raise ValueError("gc spike duration must lie within the period")
+        if self.magnitude < 0:
+            raise ValueError("gc spike magnitude must be non-negative")
+
+    def active(self, time_s: float, phase_s: float = 0.0) -> bool:
+        """Return True when the spike is active at simulated ``time_s``."""
+        return (time_s + phase_s) % self.period_s < self.duration_s
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """A logical operator and its per-record resource profile.
+
+    Attributes:
+        name: Unique operator name within the query.
+        cpu_per_record: CPU-seconds of work to process one input record.
+        io_bytes_per_record: State-backend bytes read plus written per
+            input record (the paper's state access cost dimension).
+        out_record_bytes: Size in bytes of one *output* record, used for
+            network accounting on downstream channels.
+        selectivity: Output records produced per input record. A windowed
+            aggregation has selectivity well below one; a flat-map can
+            exceed one.
+        is_source: Whether this operator generates records rather than
+            consuming an upstream stream.
+        state_bytes_per_record: Retained state growth per input record
+            (bytes); drives memory-pressure accounting in the simulator.
+        gc_spike: Optional periodic CPU spike profile (model inference
+            operators in Q3-inf set this).
+    """
+
+    name: str
+    cpu_per_record: float = 0.0
+    io_bytes_per_record: float = 0.0
+    out_record_bytes: float = 100.0
+    selectivity: float = 1.0
+    is_source: bool = False
+    state_bytes_per_record: float = 0.0
+    gc_spike: Optional[GcSpikeProfile] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        for attr in (
+            "cpu_per_record",
+            "io_bytes_per_record",
+            "out_record_bytes",
+            "selectivity",
+            "state_bytes_per_record",
+        ):
+            value = getattr(self, attr)
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(f"{attr} must be finite and non-negative, got {value!r}")
+
+    @property
+    def net_bytes_per_record(self) -> float:
+        """Bytes emitted per *input* record (selectivity-adjusted)."""
+        return self.selectivity * self.out_record_bytes
+
+    def scaled(self, cpu: float = 1.0, io: float = 1.0, net: float = 1.0) -> "OperatorSpec":
+        """Return a copy with resource costs scaled by the given factors.
+
+        Used by the profiler tests and by sensitivity/ablation benchmarks
+        to derive heavier or lighter variants of an operator.
+        """
+        return replace(
+            self,
+            cpu_per_record=self.cpu_per_record * cpu,
+            io_bytes_per_record=self.io_bytes_per_record * io,
+            out_record_bytes=self.out_record_bytes * net,
+        )
+
+
+@dataclass(frozen=True)
+class LogicalEdge:
+    """A data stream between two logical operators."""
+
+    src: str
+    dst: str
+    partitioning: Partitioning = Partitioning.HASH
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("self-loop edges are not allowed in a streaming DAG")
+
+
+class GraphValidationError(ValueError):
+    """Raised when a logical graph violates a structural invariant."""
+
+
+class LogicalGraph:
+    """A logical streaming query: operators, streams, and parallelism.
+
+    The graph is mutable while being built (``add_operator`` /
+    ``add_edge`` / ``set_parallelism``) and validated on demand. The
+    physical expansion (:class:`repro.dataflow.physical.PhysicalGraph`)
+    consumes a validated logical graph.
+
+    Example:
+        >>> g = LogicalGraph("wordcount")
+        >>> _ = g.add_operator(OperatorSpec("source", is_source=True))
+        >>> _ = g.add_operator(OperatorSpec("count", cpu_per_record=1e-5))
+        >>> g.add_edge("source", "count")
+        >>> g.set_parallelism("source", 2)
+        >>> g.set_parallelism("count", 4)
+        >>> g.validate()
+        >>> g.total_tasks()
+        6
+    """
+
+    def __init__(self, name: str, job_id: str = "") -> None:
+        if not name:
+            raise ValueError("graph name must be non-empty")
+        self.name = name
+        #: Identifier used to tag tasks in multi-tenant deployments; defaults
+        #: to the graph name.
+        self.job_id = job_id or name
+        self._operators: Dict[str, OperatorSpec] = {}
+        self._edges: List[LogicalEdge] = []
+        self._parallelism: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operator(self, spec: OperatorSpec, parallelism: int = 1) -> OperatorSpec:
+        """Add an operator; returns the spec for chaining convenience."""
+        if spec.name in self._operators:
+            raise GraphValidationError(f"duplicate operator {spec.name!r}")
+        self._operators[spec.name] = spec
+        self.set_parallelism(spec.name, parallelism)
+        return spec
+
+    def add_edge(
+        self, src: str, dst: str, partitioning: Partitioning = Partitioning.HASH
+    ) -> None:
+        """Connect two previously added operators with a data stream."""
+        for endpoint in (src, dst):
+            if endpoint not in self._operators:
+                raise GraphValidationError(f"unknown operator {endpoint!r}")
+        if any(e.src == src and e.dst == dst for e in self._edges):
+            raise GraphValidationError(f"duplicate edge {src!r} -> {dst!r}")
+        self._edges.append(LogicalEdge(src, dst, partitioning))
+
+    def set_parallelism(self, operator: str, parallelism: int) -> None:
+        """Set the number of parallel tasks for an operator.
+
+        In the paper this is decided either manually or by the DS2
+        auto-scaling controller (section 2.1).
+        """
+        if operator not in self._operators:
+            raise GraphValidationError(f"unknown operator {operator!r}")
+        if parallelism < 1:
+            raise GraphValidationError(
+                f"parallelism of {operator!r} must be >= 1, got {parallelism}"
+            )
+        self._parallelism[operator] = int(parallelism)
+
+    def with_parallelism(self, parallelism: Dict[str, int]) -> "LogicalGraph":
+        """Return a copy of this graph with the given parallelism settings.
+
+        Operators absent from ``parallelism`` keep their current setting.
+        This is the hook the scaling controller uses when effecting a
+        reconfiguration: the logical structure is immutable, only the
+        physical expansion changes.
+        """
+        clone = LogicalGraph(self.name, job_id=self.job_id)
+        for spec in self._operators.values():
+            clone.add_operator(spec, self._parallelism[spec.name])
+        for edge in self._edges:
+            clone._edges.append(edge)
+        for op, p in parallelism.items():
+            clone.set_parallelism(op, p)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def operators(self) -> Dict[str, OperatorSpec]:
+        return dict(self._operators)
+
+    @property
+    def edges(self) -> Tuple[LogicalEdge, ...]:
+        return tuple(self._edges)
+
+    def operator(self, name: str) -> OperatorSpec:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise GraphValidationError(f"unknown operator {name!r}") from None
+
+    def parallelism(self, operator: str) -> int:
+        if operator not in self._parallelism:
+            raise GraphValidationError(f"unknown operator {operator!r}")
+        return self._parallelism[operator]
+
+    def parallelism_map(self) -> Dict[str, int]:
+        return dict(self._parallelism)
+
+    def sources(self) -> List[str]:
+        """Operators marked as sources, in insertion order."""
+        return [name for name, spec in self._operators.items() if spec.is_source]
+
+    def sinks(self) -> List[str]:
+        """Operators with no outgoing edges, in insertion order."""
+        with_out = {e.src for e in self._edges}
+        return [name for name in self._operators if name not in with_out]
+
+    def upstream(self, operator: str) -> List[LogicalEdge]:
+        return [e for e in self._edges if e.dst == operator]
+
+    def downstream(self, operator: str) -> List[LogicalEdge]:
+        return [e for e in self._edges if e.src == operator]
+
+    def total_tasks(self) -> int:
+        """Number of physical tasks the current parallelism implies."""
+        return sum(self._parallelism[name] for name in self._operators)
+
+    # ------------------------------------------------------------------
+    # Validation and ordering
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Operators in a deterministic topological order.
+
+        Ties are broken by insertion order so that plan enumeration and
+        simulation are reproducible. Raises
+        :class:`GraphValidationError` on cycles.
+        """
+        order_index = {name: i for i, name in enumerate(self._operators)}
+        indegree = {name: 0 for name in self._operators}
+        for edge in self._edges:
+            indegree[edge.dst] += 1
+        ready = sorted(
+            (name for name, deg in indegree.items() if deg == 0),
+            key=order_index.__getitem__,
+        )
+        result: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            result.append(node)
+            newly_ready = []
+            for edge in self._edges:
+                if edge.src != node:
+                    continue
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    newly_ready.append(edge.dst)
+            ready.extend(sorted(newly_ready, key=order_index.__getitem__))
+            ready.sort(key=order_index.__getitem__)
+        if len(result) != len(self._operators):
+            raise GraphValidationError(f"graph {self.name!r} contains a cycle")
+        return result
+
+    def validate(self) -> None:
+        """Check structural invariants; raise GraphValidationError if broken.
+
+        Invariants: the graph is a non-empty DAG, every source operator is
+        marked ``is_source`` and has no upstream edges, every non-source
+        operator is reachable from some source, and ``FORWARD`` edges
+        connect operators of equal parallelism.
+        """
+        if not self._operators:
+            raise GraphValidationError("graph has no operators")
+        self.topological_order()  # raises on cycles
+
+        sources = set(self.sources())
+        if not sources:
+            raise GraphValidationError("graph has no source operator")
+        for name in sources:
+            if self.upstream(name):
+                raise GraphValidationError(f"source {name!r} has upstream edges")
+        for name in self._operators:
+            if name not in sources and not self.upstream(name):
+                raise GraphValidationError(
+                    f"non-source operator {name!r} has no upstream edges"
+                )
+
+        reachable = set(sources)
+        frontier = list(sources)
+        while frontier:
+            node = frontier.pop()
+            for edge in self.downstream(node):
+                if edge.dst not in reachable:
+                    reachable.add(edge.dst)
+                    frontier.append(edge.dst)
+        unreachable = set(self._operators) - reachable
+        if unreachable:
+            raise GraphValidationError(
+                f"operators unreachable from any source: {sorted(unreachable)}"
+            )
+
+        for edge in self._edges:
+            if edge.partitioning is Partitioning.FORWARD:
+                if self._parallelism[edge.src] != self._parallelism[edge.dst]:
+                    raise GraphValidationError(
+                        f"FORWARD edge {edge.src!r}->{edge.dst!r} requires equal "
+                        f"parallelism ({self._parallelism[edge.src]} != "
+                        f"{self._parallelism[edge.dst]})"
+                    )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __contains__(self, operator: str) -> bool:
+        return operator in self._operators
+
+    def __iter__(self) -> Iterator[OperatorSpec]:
+        return iter(self._operators.values())
+
+    def __len__(self) -> int:
+        return len(self._operators)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogicalGraph({self.name!r}, operators={len(self._operators)}, "
+            f"edges={len(self._edges)}, tasks={self.total_tasks()})"
+        )
+
+
+def chain_operators(
+    graph: LogicalGraph, chain: Sequence[str], chained_name: str
+) -> LogicalGraph:
+    """Collapse a linear chain of operators into a single logical operator.
+
+    Models Flink operator chaining (paper section 6.1): CAPS "considers
+    any chain as a single operator during profiling and when exploring the
+    search space". The chained operator's per-record costs are the sums of
+    the members' costs weighted by the record multiplicity at each member,
+    its selectivity is the product of the members' selectivities, and its
+    output record size is the last member's.
+
+    All chain members must have the same parallelism, form a linear path
+    connected by FORWARD or HASH edges, and the interior members must have
+    no other edges.
+    """
+    if len(chain) < 2:
+        raise GraphValidationError("a chain needs at least two operators")
+    parallelisms = {graph.parallelism(name) for name in chain}
+    if len(parallelisms) != 1:
+        raise GraphValidationError("chained operators must share one parallelism")
+    for first, second in zip(chain, chain[1:]):
+        if not any(e.src == first and e.dst == second for e in graph.edges):
+            raise GraphValidationError(f"{first!r} -> {second!r} is not an edge")
+    interior = set(chain[1:-1])
+    for edge in graph.edges:
+        touches_interior = edge.src in interior or edge.dst in interior
+        inside = edge.src in chain and edge.dst in chain
+        if touches_interior and not inside:
+            raise GraphValidationError(
+                f"operator {edge.src!r}->{edge.dst!r} escapes the chain"
+            )
+
+    multiplicity = 1.0
+    cpu = io = 0.0
+    state = 0.0
+    for name in chain:
+        spec = graph.operator(name)
+        cpu += multiplicity * spec.cpu_per_record
+        io += multiplicity * spec.io_bytes_per_record
+        state += multiplicity * spec.state_bytes_per_record
+        multiplicity *= spec.selectivity
+    last = graph.operator(chain[-1])
+    first_spec = graph.operator(chain[0])
+    merged = OperatorSpec(
+        name=chained_name,
+        cpu_per_record=cpu,
+        io_bytes_per_record=io,
+        out_record_bytes=last.out_record_bytes,
+        selectivity=multiplicity,
+        is_source=first_spec.is_source,
+        state_bytes_per_record=state,
+        gc_spike=next(
+            (graph.operator(n).gc_spike for n in chain if graph.operator(n).gc_spike),
+            None,
+        ),
+    )
+
+    clone = LogicalGraph(graph.name, job_id=graph.job_id)
+    chain_set = set(chain)
+    for spec in graph:
+        if spec.name in chain_set:
+            continue
+        clone.add_operator(spec, graph.parallelism(spec.name))
+    clone.add_operator(merged, graph.parallelism(chain[0]))
+    for edge in graph.edges:
+        src_in, dst_in = edge.src in chain_set, edge.dst in chain_set
+        if src_in and dst_in:
+            continue
+        src = chained_name if src_in else edge.src
+        dst = chained_name if dst_in else edge.dst
+        if not any(e.src == src and e.dst == dst for e in clone.edges):
+            clone.add_edge(src, dst, edge.partitioning)
+    return clone

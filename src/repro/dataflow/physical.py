@@ -1,0 +1,274 @@
+"""Physical execution graphs.
+
+Upon deployment, the logical graph is translated to a physical execution
+graph (paper Figure 1, step 1): each logical operator is replicated into
+``parallelism`` *tasks* and each data stream is instantiated into
+*physical data channels* connecting tasks of the upstream and downstream
+operators.
+
+The channel structure determines the network-cost accounting of the CAPS
+cost model: the paper assumes the output data rate of a task is equally
+distributed over its downstream data links ``D(t)`` (Table 1 / Eq. 8), and
+only the cross-worker subset ``D_r(f, t)`` contributes to outbound worker
+traffic under a placement ``f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dataflow.graph import (
+    GraphValidationError,
+    LogicalGraph,
+    OperatorSpec,
+    Partitioning,
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One parallel instance of a logical operator.
+
+    ``uid`` is globally unique (job id + operator + index) so that
+    multi-tenant deployments can merge several physical graphs into one
+    task universe without collisions.
+    """
+
+    job_id: str
+    operator: str
+    index: int
+
+    @property
+    def uid(self) -> str:
+        return f"{self.job_id}/{self.operator}[{self.index}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.uid
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A physical data channel between two tasks.
+
+    Attributes:
+        src / dst: Endpoint tasks.
+        share: Fraction of the source task's output record stream carried
+            on this channel. For hash/rebalance partitioning over ``p``
+            downstream tasks the share is ``1/p``; a broadcast channel
+            carries the full stream (share 1.0); a forward channel carries
+            the full stream to its single peer.
+        reroutable: True for REBALANCE channels, whose emitter may route
+            records to any consumer (softening head-of-line blocking);
+            False for key-bound (HASH), one-to-one, and broadcast
+            channels.
+    """
+
+    src: Task
+    dst: Task
+    share: float
+    reroutable: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"channel share must be in (0, 1], got {self.share}")
+
+
+class PhysicalGraph:
+    """The physical execution graph: tasks plus physical channels.
+
+    Built from a validated :class:`LogicalGraph` via :meth:`expand`, or
+    merged from several graphs via :meth:`merge` for the multi-tenant
+    experiment (paper section 6.2.2, where "CAPSys views the entire query
+    workload as a single dataflow graph and optimizes task placement
+    globally").
+    """
+
+    def __init__(
+        self,
+        tasks: Sequence[Task],
+        channels: Sequence[Channel],
+        logical: Sequence[LogicalGraph],
+    ) -> None:
+        self._tasks: Tuple[Task, ...] = tuple(tasks)
+        self._channels: Tuple[Channel, ...] = tuple(channels)
+        self._logical: Tuple[LogicalGraph, ...] = tuple(logical)
+
+        uids = [t.uid for t in self._tasks]
+        if len(set(uids)) != len(uids):
+            raise GraphValidationError("duplicate task uids in physical graph")
+
+        self._index_of: Dict[str, int] = {t.uid: i for i, t in enumerate(self._tasks)}
+        self._by_operator: Dict[Tuple[str, str], List[Task]] = {}
+        for task in self._tasks:
+            self._by_operator.setdefault((task.job_id, task.operator), []).append(task)
+        for members in self._by_operator.values():
+            members.sort(key=lambda t: t.index)
+
+        self._out_channels: Dict[str, List[Channel]] = {t.uid: [] for t in self._tasks}
+        self._in_channels: Dict[str, List[Channel]] = {t.uid: [] for t in self._tasks}
+        for ch in self._channels:
+            if ch.src.uid not in self._index_of or ch.dst.uid not in self._index_of:
+                raise GraphValidationError("channel endpoint not among tasks")
+            self._out_channels[ch.src.uid].append(ch)
+            self._in_channels[ch.dst.uid].append(ch)
+
+        self._spec_cache: Dict[Tuple[str, str], OperatorSpec] = {}
+        for graph in self._logical:
+            for spec in graph:
+                self._spec_cache[(graph.job_id, spec.name)] = spec
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def expand(
+        cls,
+        graph: LogicalGraph,
+        skew: Optional[Dict[str, Sequence[float]]] = None,
+    ) -> "PhysicalGraph":
+        """Expand a logical graph into tasks and channels (Figure 1 step 1).
+
+        Args:
+            graph: The validated logical graph.
+            skew: Optional per-operator downstream share vectors modelling
+                key skew: for a HASH edge into operator ``op`` with
+                ``skew[op] = [s_0, ..., s_{p-1}]`` (summing to 1), task
+                ``op[i]`` receives fraction ``s_i`` of every upstream
+                task's output instead of the uniform ``1/p``. This is how
+                a skewed key distribution reaches both the simulator and
+                the cost model (paper section 5.2).
+        """
+        graph.validate()
+        skew = dict(skew or {})
+        for op, shares in skew.items():
+            p = graph.parallelism(op)
+            if len(shares) != p:
+                raise GraphValidationError(
+                    f"skew for {op!r} has {len(shares)} shares, expected {p}"
+                )
+            total = sum(shares)
+            if abs(total - 1.0) > 1e-6:
+                raise GraphValidationError(
+                    f"skew shares for {op!r} sum to {total}, expected 1"
+                )
+        tasks: List[Task] = []
+        by_op: Dict[str, List[Task]] = {}
+        for name in graph.topological_order():
+            members = [Task(graph.job_id, name, i) for i in range(graph.parallelism(name))]
+            tasks.extend(members)
+            by_op[name] = members
+
+        channels: List[Channel] = []
+        for edge in graph.edges:
+            ups, downs = by_op[edge.src], by_op[edge.dst]
+            if edge.partitioning is Partitioning.FORWARD:
+                for u, d in zip(ups, downs):
+                    channels.append(Channel(u, d, share=1.0))
+            elif edge.partitioning is Partitioning.BROADCAST:
+                for u in ups:
+                    for d in downs:
+                        channels.append(Channel(u, d, share=1.0))
+            else:  # HASH / REBALANCE: all-to-all
+                shares = skew.get(edge.dst)
+                if shares is not None and edge.partitioning is Partitioning.HASH:
+                    per_dst = list(shares)
+                else:
+                    per_dst = [1.0 / len(downs)] * len(downs)
+                reroutable = edge.partitioning is Partitioning.REBALANCE
+                for u in ups:
+                    for d, share in zip(downs, per_dst):
+                        channels.append(
+                            Channel(u, d, share=share, reroutable=reroutable)
+                        )
+        return cls(tasks, channels, [graph])
+
+    @classmethod
+    def merge(cls, graphs: Iterable["PhysicalGraph"]) -> "PhysicalGraph":
+        """Merge several physical graphs into one task universe.
+
+        Job ids must be pairwise distinct; tasks and channels are simply
+        concatenated since channels never cross job boundaries.
+        """
+        tasks: List[Task] = []
+        channels: List[Channel] = []
+        logical: List[LogicalGraph] = []
+        job_ids: List[str] = []
+        for g in graphs:
+            tasks.extend(g.tasks)
+            channels.extend(g.channels)
+            logical.extend(g.logical_graphs)
+            job_ids.extend(lg.job_id for lg in g.logical_graphs)
+        if len(set(job_ids)) != len(job_ids):
+            raise GraphValidationError("merged graphs must have distinct job ids")
+        return cls(tasks, channels, logical)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        return self._tasks
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        return self._channels
+
+    @property
+    def logical_graphs(self) -> Tuple[LogicalGraph, ...]:
+        return self._logical
+
+    def index_of(self, task: Task) -> int:
+        """Stable dense index of a task (used by the vectorised simulator)."""
+        return self._index_of[task.uid]
+
+    def task_by_uid(self, uid: str) -> Task:
+        return self._tasks[self._index_of[uid]]
+
+    def operator_tasks(self, job_id: str, operator: str) -> List[Task]:
+        """All tasks of one logical operator, sorted by index."""
+        return list(self._by_operator[(job_id, operator)])
+
+    def operator_keys(self) -> List[Tuple[str, str]]:
+        """All (job_id, operator) pairs, in task order."""
+        seen: List[Tuple[str, str]] = []
+        for task in self._tasks:
+            key = (task.job_id, task.operator)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def spec_of(self, task: Task) -> OperatorSpec:
+        """The operator spec governing a task's resource profile."""
+        return self._spec_cache[(task.job_id, task.operator)]
+
+    def out_channels(self, task: Task) -> List[Channel]:
+        return list(self._out_channels[task.uid])
+
+    def in_channels(self, task: Task) -> List[Channel]:
+        return list(self._in_channels[task.uid])
+
+    def downstream_degree(self, task: Task) -> int:
+        """``|D(t)|``: number of physical downstream links of a task.
+
+        The paper defines ``D(t)`` as the set of physical downstream data
+        links originating from ``t`` (Table 1), with sink tasks assigned
+        -1; we return 0 for sinks and let callers treat the network share
+        of a sink as zero.
+        """
+        return len(self._out_channels[task.uid])
+
+    def is_sink_task(self, task: Task) -> bool:
+        return not self._out_channels[task.uid]
+
+    def is_source_task(self, task: Task) -> bool:
+        return self.spec_of(task).is_source
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhysicalGraph(tasks={len(self._tasks)}, "
+            f"channels={len(self._channels)}, jobs={len(self._logical)})"
+        )

@@ -1,0 +1,97 @@
+"""Figure-shaped data assembly.
+
+Each helper turns raw experiment output into the series a paper figure
+plots, as plain rows suitable for :func:`~repro.experiments.reporting.
+format_table`. Keeping this separate from the benchmarks makes the
+series content unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.controller.events import AdaptiveRunResult
+from repro.core.cost_model import CostVector
+from repro.core.plan import PlacementPlan
+from repro.simulator.results import JobSummary
+
+
+@dataclass(frozen=True)
+class RankedPlan:
+    """One plan of an exhaustive study, ranked by simulated throughput."""
+
+    label: str
+    cost: CostVector
+    plan: PlacementPlan
+    summary: JobSummary
+
+
+def rank_plans_by_throughput(
+    evaluated: Sequence[Tuple[CostVector, PlacementPlan, JobSummary]],
+) -> List[RankedPlan]:
+    """Sort evaluated plans best-first and label them P1, P2, ...
+
+    Reproduces Figure 2's presentation: the motivation study labels the
+    three best plans P1-P3 and the three worst P4-P6.
+    """
+    ordered = sorted(evaluated, key=lambda e: -e[2].throughput)
+    return [
+        RankedPlan(label=f"P{i + 1}", cost=cost, plan=plan, summary=summary)
+        for i, (cost, plan, summary) in enumerate(ordered)
+    ]
+
+
+def best_and_worst(
+    ranked: Sequence[RankedPlan], k: int = 3
+) -> List[RankedPlan]:
+    """The ``k`` best and ``k`` worst plans, paper-Figure-2 style."""
+    if len(ranked) < 2 * k:
+        return list(ranked)
+    relabelled: List[RankedPlan] = []
+    for i, entry in enumerate(list(ranked[:k]) + list(ranked[-k:])):
+        relabelled.append(
+            RankedPlan(
+                label=f"P{i + 1}",
+                cost=entry.cost,
+                plan=entry.plan,
+                summary=entry.summary,
+            )
+        )
+    return relabelled
+
+
+def cost_throughput_scatter(
+    evaluated: Sequence[Tuple[CostVector, PlacementPlan, JobSummary]],
+) -> List[Tuple[float, float, float, float]]:
+    """Figure 5 series: (C_cpu, C_io, C_net, throughput) per plan."""
+    return [
+        (cost.cpu, cost.io, cost.net, summary.throughput)
+        for cost, _plan, summary in evaluated
+    ]
+
+
+def convergence_timeline_rows(
+    result: AdaptiveRunResult, bucket_s: float = 60.0
+) -> List[Tuple[float, float, float, int]]:
+    """Figure 9 series: time-bucketed (target, throughput, tasks) rows."""
+    if bucket_s <= 0:
+        raise ValueError("bucket must be positive")
+    rows: List[Tuple[float, float, float, int]] = []
+    if not result.samples:
+        return rows
+    end = result.samples[-1].time_s
+    start = 0.0
+    while start < end:
+        window = result.samples_between(start, start + bucket_s)
+        if window:
+            rows.append(
+                (
+                    start,
+                    sum(s.target_rate for s in window) / len(window),
+                    sum(s.throughput for s in window) / len(window),
+                    max(s.total_tasks for s in window),
+                )
+            )
+        start += bucket_s
+    return rows

@@ -1,0 +1,107 @@
+"""Plain-text reporting: tables and box-plot statistics.
+
+The benchmark suite regenerates every paper table and figure as terminal
+output; this module provides the formatting. No plotting dependency is
+available offline, so figures are emitted as aligned data tables whose
+rows are the series a plot would show.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary used for the paper's box plots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def __str__(self) -> str:
+        return (
+            f"min={self.minimum:.3g} q1={self.q1:.3g} med={self.median:.3g} "
+            f"q3={self.q3:.3g} max={self.maximum:.3g}"
+        )
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("need at least one value")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+
+
+def box_stats(values: Iterable[float]) -> BoxStats:
+    """Five-number summary plus mean of a sample."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("need at least one value")
+    return BoxStats(
+        minimum=data[0],
+        q1=_quantile(data, 0.25),
+        median=_quantile(data, 0.5),
+        q3=_quantile(data, 0.75),
+        maximum=data[-1],
+        mean=sum(data) / len(data),
+    )
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000 or (cell != 0 and abs(cell) < 0.01):
+            return f"{cell:.4g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (paper-table style)."""
+    rendered = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float) -> str:
+    """``0.318`` -> ``'31.8%'`` (paper backpressure formatting)."""
+    return f"{100.0 * value:.1f}%"
+
+
+def check_or_cross(ok: bool) -> str:
+    """Render the Table 4 tick/cross cells in ASCII."""
+    return "OK" if ok else "X"

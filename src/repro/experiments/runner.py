@@ -1,0 +1,275 @@
+"""Experiment drivers: clusters, single runs, and multi-run sweeps.
+
+The cluster builders mirror the paper's setups:
+
+- :func:`make_motivation_cluster`: 4 r5d.xlarge workers, 4 slots each
+  (16 slots) — the section 3 motivation study.
+- :func:`make_isolation_cluster`: 4 m5d.2xlarge workers, 8 slots each
+  (32 slots) — the section 6.2.1 single-query comparison.
+- :func:`make_multitenant_cluster`: 18 m5d.2xlarge workers, 8 slots
+  each (144 slots) — the section 6.2.2 multi-tenant experiment.
+- :func:`make_odrp_cluster`: 4 c5d.4xlarge workers, 8 slots each — the
+  section 6.3 ODRP comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.dataflow.cluster import (
+    C5D_4XLARGE,
+    Cluster,
+    M5D_2XLARGE,
+    R5D_XLARGE,
+    Worker,
+    WorkerSpec,
+)
+from repro.dataflow.graph import LogicalGraph
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import CostModel, CostVector, TaskCosts
+from repro.core.plan import PlacementPlan
+from repro.core.search import CapsSearch, SearchLimits
+from repro.placement.base import PlacementStrategy
+from repro.simulator.engine import FluidSimulation, SimulationConfig
+from repro.simulator.results import JobSummary
+from repro.workloads.rates import RatePattern
+
+
+def make_motivation_cluster() -> Cluster:
+    return Cluster.homogeneous(R5D_XLARGE.with_slots(4), count=4)
+
+
+def make_isolation_cluster() -> Cluster:
+    return Cluster.homogeneous(M5D_2XLARGE.with_slots(8), count=4)
+
+
+def make_multitenant_cluster() -> Cluster:
+    return Cluster.homogeneous(M5D_2XLARGE.with_slots(8), count=18)
+
+
+def make_odrp_cluster() -> Cluster:
+    return Cluster.homogeneous(C5D_4XLARGE.with_slots(8), count=4)
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One simulated run: the plan used and the per-job outcomes."""
+
+    plan: PlacementPlan
+    summaries: Dict[str, JobSummary]
+
+    @property
+    def only(self) -> JobSummary:
+        if len(self.summaries) != 1:
+            raise ValueError("expected a single job")
+        return next(iter(self.summaries.values()))
+
+
+def source_rate_map(
+    graph: LogicalGraph, rate: Union[float, RatePattern, Mapping[str, float]]
+) -> Dict[Tuple[str, str], Union[float, RatePattern]]:
+    """Expand a scalar / per-source rate spec into engine keys.
+
+    A scalar applies to *every* source of the graph (the paper's target
+    rates are per source).
+    """
+    if isinstance(rate, Mapping):
+        return {(graph.job_id, op): rate[op] for op in graph.sources()}
+    return {(graph.job_id, op): rate for op in graph.sources()}
+
+
+def simulate_plan(
+    graph: LogicalGraph,
+    cluster: Cluster,
+    plan: PlacementPlan,
+    rate: Union[float, RatePattern, Mapping[str, float]],
+    duration_s: float = 600.0,
+    warmup_s: float = 240.0,
+    config: Optional[SimulationConfig] = None,
+    network_cap_bytes_per_s: Optional[float] = None,
+) -> JobSummary:
+    """Simulate one (single-job) plan and return its summary."""
+    physical = PhysicalGraph.expand(graph)
+    sim = FluidSimulation(
+        physical,
+        cluster,
+        plan,
+        source_rate_map(graph, rate),
+        config=config,
+        network_cap_bytes_per_s=network_cap_bytes_per_s,
+    )
+    return sim.run(duration_s, warmup_s=warmup_s).only
+
+
+def simulate_multi_job(
+    physical: PhysicalGraph,
+    cluster: Cluster,
+    plan: PlacementPlan,
+    rates: Mapping[Tuple[str, str], Union[float, RatePattern]],
+    duration_s: float = 600.0,
+    warmup_s: float = 240.0,
+    config: Optional[SimulationConfig] = None,
+) -> Dict[str, JobSummary]:
+    """Simulate a merged multi-job deployment; summaries per job."""
+    sim = FluidSimulation(physical, cluster, plan, rates, config=config)
+    return sim.run(duration_s, warmup_s=warmup_s).jobs
+
+
+def strategy_box_runs(
+    graph: LogicalGraph,
+    cluster: Cluster,
+    strategy: PlacementStrategy,
+    rate: Union[float, Mapping[str, float]],
+    runs: int = 10,
+    duration_s: float = 600.0,
+    warmup_s: float = 240.0,
+    config: Optional[SimulationConfig] = None,
+    base_seed: int = 0,
+) -> List[ExperimentRun]:
+    """Repeat place-and-simulate ``runs`` times with varied seeds.
+
+    Reproduces the paper's Figure 7 methodology: "We repeat each
+    experiment 10 times and summarize the results in a box plot" to
+    capture the variance of the randomised baselines. Deterministic
+    strategies (CAPS) yield identical plans across runs, which is
+    exactly the stability the paper reports.
+    """
+    physical = PhysicalGraph.expand(graph)
+    results: List[ExperimentRun] = []
+    for run_index in range(runs):
+        if hasattr(strategy, "seed"):
+            strategy.seed = base_seed + run_index
+        plan = strategy.place_validated(physical, cluster)
+        summary = simulate_plan(
+            graph,
+            cluster,
+            plan,
+            rate,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            config=config,
+        )
+        results.append(ExperimentRun(plan=plan, summaries={summary.job_id: summary}))
+    return results
+
+
+def enumerate_all_plans(
+    graph: LogicalGraph,
+    cluster: Cluster,
+    rate: Union[float, Mapping[str, float]],
+    max_plans: Optional[int] = None,
+) -> Tuple[List[Tuple[CostVector, PlacementPlan]], CostModel]:
+    """Every distinct placement plan with its CAPS cost vector.
+
+    Drives the CAPS enumeration with pruning disabled (``alpha = inf``)
+    and duplicate elimination on, reproducing the motivation study's
+    exhaustive search ("Deploying this query on our 4-worker cluster
+    with 16 slots results in 80 possible placement plans").
+    """
+    physical = PhysicalGraph.expand(graph)
+    costs = TaskCosts.from_specs(physical, source_rate_map_plain(graph, rate))
+    cost_model = CostModel(physical, cluster, costs)
+    search = CapsSearch(
+        cost_model, thresholds=None, reorder=False, collect_pareto=False, collect_all=True
+    )
+    result = search.run(SearchLimits(max_plans=max_plans))
+    return result.all_plans, cost_model
+
+
+def place_sequentially(
+    physicals: Sequence[PhysicalGraph],
+    cluster: Cluster,
+    strategy: PlacementStrategy,
+) -> PlacementPlan:
+    """Place several jobs one at a time, as Flink's policies must.
+
+    The paper's multi-tenant experiment (section 6.2.2) notes that
+    ``default`` and ``evenly`` "can only deploy a single query at a
+    time, hence, they are sensitive to the query submission order".
+    Each job is placed by the strategy on a view of the cluster whose
+    workers expose only the slots previous jobs left free.
+    """
+    used: Dict[int, int] = {w.worker_id: 0 for w in cluster.workers}
+    merged: Dict[str, int] = {}
+    for physical in physicals:
+        free_workers = []
+        for w in cluster.workers:
+            remaining = w.slots - used[w.worker_id]
+            if remaining > 0:
+                free_workers.append(Worker(w.worker_id, w.spec.with_slots(remaining)))
+        sub_cluster = Cluster(free_workers, link_latency_s=cluster.link_latency_s)
+        plan = strategy.place_validated(physical, sub_cluster)
+        for uid, worker_id in plan.assignment.items():
+            merged[uid] = worker_id
+            used[worker_id] += 1
+    return PlacementPlan(merged)
+
+
+def plan_with_colocation(
+    graph: LogicalGraph,
+    cluster: Cluster,
+    operators: Sequence[str],
+    colocate_count: int,
+) -> PlacementPlan:
+    """A plan that piles ``colocate_count`` tasks of the given operators
+    onto one worker, spreading everything else evenly.
+
+    This constructs the controlled-contention plans of the paper's
+    Figure 3 study, where plans are "manually select[ed] ... with
+    varying degrees of resource contention": degree 1 per worker is the
+    low-contention extreme, all tasks on one worker the high-contention
+    extreme.
+    """
+    physical = PhysicalGraph.expand(graph)
+    hot_tasks = []
+    for op in operators:
+        hot_tasks.extend(physical.operator_tasks(graph.job_id, op))
+    if colocate_count < 1 or colocate_count > len(hot_tasks):
+        raise ValueError(
+            f"colocate_count must be in [1, {len(hot_tasks)}], got {colocate_count}"
+        )
+    workers = sorted(cluster.workers, key=lambda w: w.worker_id)
+    hot_worker = workers[0].worker_id
+    if colocate_count > workers[0].slots:
+        raise ValueError("co-location degree exceeds the hot worker's slots")
+
+    free: Dict[int, int] = {w.worker_id: w.slots for w in workers}
+    assignment: Dict[str, int] = {}
+    # Interleave the listed operators so multi-operator co-location mixes
+    # them on the hot worker (the Figure 3c network experiment).
+    interleaved = sorted(
+        hot_tasks, key=lambda t: (t.index, operators.index(t.operator))
+    )
+    for task in interleaved[:colocate_count]:
+        assignment[task.uid] = hot_worker
+        free[hot_worker] -= 1
+    remaining_hot = interleaved[colocate_count:]
+    cold = [w.worker_id for w in workers[1:]] or [hot_worker]
+    for task in remaining_hot:
+        target = max(cold, key=lambda w: (free[w], -w))
+        if free[target] == 0:
+            target = max(free, key=lambda w: (free[w], -w))
+        assignment[task.uid] = target
+        free[target] -= 1
+    hot_set = {t.uid for t in hot_tasks}
+    for task in physical.tasks:
+        if task.uid in hot_set:
+            continue
+        target = max(free, key=lambda w: (free[w], -w))
+        if free[target] == 0:
+            raise RuntimeError("ran out of slots building co-location plan")
+        assignment[task.uid] = target
+        free[target] -= 1
+    plan = PlacementPlan(assignment)
+    plan.validate(physical, cluster)
+    return plan
+
+
+def source_rate_map_plain(
+    graph: LogicalGraph, rate: Union[float, Mapping[str, float]]
+) -> Dict[Tuple[str, str], float]:
+    """Like :func:`source_rate_map` but forces plain floats (cost model)."""
+    if isinstance(rate, Mapping):
+        return {(graph.job_id, op): float(rate[op]) for op in graph.sources()}
+    return {(graph.job_id, op): float(rate) for op in graph.sources()}

@@ -1,0 +1,34 @@
+"""Placement strategies: Flink baselines, random search, and ODRP.
+
+- :mod:`repro.placement.flink_default` -- Flink's default policy: fill
+  each worker's slots before moving to the next, tasks picked in random
+  order (paper section 2.2).
+- :mod:`repro.placement.flink_evenly` -- Flink's
+  ``cluster.evenly-spread-out-slots`` policy: balance the *number* of
+  tasks per worker, ignoring their resource profiles.
+- :mod:`repro.placement.random_search` -- sample-K-random-plans
+  baseline used by ablation benchmarks.
+- :mod:`repro.placement.odrp` -- the ODRP joint replication+placement
+  ILP of Cardellini et al., solved with scipy's MILP solver (the
+  paper's section 6.3 comparison).
+- :mod:`repro.placement.caps` -- adapter presenting the CAPS search as
+  a placement strategy with the same interface as the baselines.
+"""
+
+from repro.placement.base import PlacementStrategy
+from repro.placement.flink_default import FlinkDefaultStrategy
+from repro.placement.flink_evenly import FlinkEvenlyStrategy
+from repro.placement.random_search import RandomSearchStrategy
+from repro.placement.caps import CapsStrategy
+from repro.placement.odrp import OdrpConfig, OdrpResult, OdrpSolver
+
+__all__ = [
+    "PlacementStrategy",
+    "FlinkDefaultStrategy",
+    "FlinkEvenlyStrategy",
+    "RandomSearchStrategy",
+    "CapsStrategy",
+    "OdrpConfig",
+    "OdrpResult",
+    "OdrpSolver",
+]

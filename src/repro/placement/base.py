@@ -1,0 +1,46 @@
+"""The placement strategy interface.
+
+A strategy maps a physical execution graph onto a cluster, producing a
+:class:`~repro.core.plan.PlacementPlan` that satisfies Eq. 1-2. The
+randomised baselines accept a seed so experiments can reproduce the
+run-to-run variance the paper reports (Figure 7's box plots capture
+"the randomness inherent in the baseline approaches").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.dataflow.cluster import Cluster
+from repro.dataflow.physical import PhysicalGraph
+from repro.dataflow.validation import validate_deployment
+from repro.core.plan import PlacementPlan
+
+
+class PlacementStrategy(abc.ABC):
+    """Base class for all placement strategies."""
+
+    #: Human-readable strategy name used in experiment reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def place(self, physical: PhysicalGraph, cluster: Cluster) -> PlacementPlan:
+        """Compute a placement plan for ``physical`` on ``cluster``.
+
+        Implementations must return a plan satisfying Eq. 1-2 or raise
+        if none exists (which, given the slot-sufficiency assumption, an
+        implementation bug).
+        """
+
+    def place_validated(
+        self, physical: PhysicalGraph, cluster: Cluster
+    ) -> PlacementPlan:
+        """Place and assert the result is feasible (harness entry point)."""
+        validate_deployment(physical, cluster)
+        plan = self.place(physical, cluster)
+        plan.validate(physical, cluster)
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

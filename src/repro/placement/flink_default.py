@@ -1,0 +1,52 @@
+"""Flink's default slot-allocation policy.
+
+Paper section 2.2: "Flink's default policy iterates over workers,
+filling up all of a worker's available slots before moving on to the
+next. However, the tasks to be scheduled are selected at random and
+placement plans, as well as their performance, can vary significantly
+across different runs of the same query on the same worker cluster."
+
+We reproduce exactly that: a seeded shuffle of the task list, assigned
+to workers in id order, each worker filled to capacity before the next
+one is touched. Because slots are filled densely, the policy tends to
+co-locate whole operators onto few workers — the failure mode the
+motivation study's worst plans (P4-P6 in Figure 2) exhibit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.dataflow.cluster import Cluster
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.plan import PlacementPlan
+from repro.placement.base import PlacementStrategy
+
+
+class FlinkDefaultStrategy(PlacementStrategy):
+    """Fill workers one at a time with randomly ordered tasks."""
+
+    name = "default"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+
+    def place(self, physical: PhysicalGraph, cluster: Cluster) -> PlacementPlan:
+        rng = random.Random(self.seed)
+        task_uids = [t.uid for t in physical.tasks]
+        rng.shuffle(task_uids)
+
+        assignment: Dict[str, int] = {}
+        workers = list(cluster.workers)
+        cursor = 0
+        free = workers[cursor].slots
+        for uid in task_uids:
+            while free == 0:
+                cursor += 1
+                if cursor >= len(workers):
+                    raise RuntimeError("ran out of slots; deployment was not validated")
+                free = workers[cursor].slots
+            assignment[uid] = workers[cursor].worker_id
+            free -= 1
+        return PlacementPlan(assignment)

@@ -1,0 +1,49 @@
+"""Flink's ``cluster.evenly-spread-out-slots`` policy.
+
+Paper section 2.2: resource-aware strategies in Flink and Storm, "under
+the assumption of homogeneity, ... evenly distribute the *number* of
+tasks to available workers rather than balance the actual load."
+
+Each slot request goes to the worker with the lowest occupancy ratio
+(ties broken by worker id), with tasks requested in seeded-random order
+— so the task *count* is balanced, but nothing prevents all the
+resource-hungry tasks of one operator from landing together while the
+lightweight ones pad the other workers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.dataflow.cluster import Cluster
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.plan import PlacementPlan
+from repro.placement.base import PlacementStrategy
+
+
+class FlinkEvenlyStrategy(PlacementStrategy):
+    """Least-occupied-worker assignment of randomly ordered tasks."""
+
+    name = "evenly"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+
+    def place(self, physical: PhysicalGraph, cluster: Cluster) -> PlacementPlan:
+        rng = random.Random(self.seed)
+        task_uids = [t.uid for t in physical.tasks]
+        rng.shuffle(task_uids)
+
+        used: Dict[int, int] = {w.worker_id: 0 for w in cluster.workers}
+        slots: Dict[int, int] = {w.worker_id: w.slots for w in cluster.workers}
+        assignment: Dict[str, int] = {}
+        for uid in task_uids:
+            candidates = [w for w in slots if used[w] < slots[w]]
+            if not candidates:
+                raise RuntimeError("ran out of slots; deployment was not validated")
+            # Lowest occupancy ratio first; ties by id for determinism.
+            target = min(candidates, key=lambda w: (used[w] / slots[w], w))
+            assignment[uid] = target
+            used[target] += 1
+        return PlacementPlan(assignment)

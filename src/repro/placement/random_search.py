@@ -1,0 +1,68 @@
+"""Random-sampling placement baseline.
+
+Draws ``samples`` uniformly random feasible plans and keeps the one with
+the lowest scalarised CAPS cost. This is not a paper baseline; it is the
+natural "how far does naive sampling get you" ablation for the search
+benchmarks: with the same cost model but no systematic enumeration,
+pruning, or duplicate elimination, how close does random sampling come
+to the CAPS plan at equal decision budget?
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.dataflow.cluster import Cluster
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import CostModel
+from repro.core.plan import PlacementPlan
+from repro.placement.base import PlacementStrategy
+
+
+def random_feasible_plan(
+    physical: PhysicalGraph, cluster: Cluster, rng: random.Random
+) -> PlacementPlan:
+    """One uniformly random slot assignment (each slot equally likely)."""
+    slots: List[int] = []
+    for worker in cluster.workers:
+        slots.extend([worker.worker_id] * worker.slots)
+    rng.shuffle(slots)
+    assignment: Dict[str, int] = {}
+    for task, worker_id in zip(physical.tasks, slots):
+        assignment[task.uid] = worker_id
+    return PlacementPlan(assignment)
+
+
+class RandomSearchStrategy(PlacementStrategy):
+    """Best-of-``samples`` random plans under the CAPS cost model."""
+
+    name = "random-search"
+
+    def __init__(
+        self,
+        cost_model_factory: Callable[[PhysicalGraph, Cluster], CostModel],
+        samples: int = 100,
+        seed: Optional[int] = None,
+    ) -> None:
+        """``cost_model_factory`` builds the scoring model per placement
+        problem (it needs task costs, which depend on target rates the
+        strategy itself does not know)."""
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        self.cost_model_factory = cost_model_factory
+        self.samples = samples
+        self.seed = seed
+
+    def place(self, physical: PhysicalGraph, cluster: Cluster) -> PlacementPlan:
+        rng = random.Random(self.seed)
+        cost_model = self.cost_model_factory(physical, cluster)
+        best_plan: Optional[PlacementPlan] = None
+        best_score = float("inf")
+        for _ in range(self.samples):
+            plan = random_feasible_plan(physical, cluster, rng)
+            score = cost_model.cost(plan).total()
+            if score < best_score:
+                best_plan, best_score = plan, score
+        assert best_plan is not None
+        return best_plan

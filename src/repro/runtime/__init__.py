@@ -1,0 +1,61 @@
+"""A record-level mini streaming runtime.
+
+The fluid simulator (:mod:`repro.simulator`) reasons about *rates*; this
+subpackage executes actual records through event-time streaming
+semantics — watermarks, keyed state, tumbling/sliding/session windows,
+and windowed joins — the way the paper's Flink queries do. It serves
+three purposes:
+
+1. the evaluation queries exist as *real streaming programs*, not just
+   rate models (``repro.runtime.queries`` builds Q1/Q2/Q6 pipelines
+   over Nexmark events and their outputs are verified against the
+   reference semantics in :mod:`repro.workloads.nexmark`);
+2. the operator statistics it measures (selectivity, state growth,
+   state reads/writes per record) ground the unit-cost constants baked
+   into :mod:`repro.workloads.queries`;
+3. it demonstrates what the placement layer is placing: each pipeline
+   stage corresponds to one logical operator of the placement problem.
+
+It is intentionally single-process and single-threaded — parallelism,
+placement, and contention are the fluid simulator's job.
+"""
+
+from repro.runtime.windows import (
+    SessionMerger,
+    SlidingWindows,
+    TumblingWindows,
+    Window,
+)
+from repro.runtime.state import KeyedState, StateStats
+from repro.runtime.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    MapOperator,
+    Operator,
+    OperatorStats,
+    Record,
+    SessionWindowOperator,
+    WindowAggregateOperator,
+    WindowJoinOperator,
+)
+from repro.runtime.executor import Pipeline, PipelineResult
+
+__all__ = [
+    "Window",
+    "TumblingWindows",
+    "SlidingWindows",
+    "SessionMerger",
+    "KeyedState",
+    "StateStats",
+    "Record",
+    "Operator",
+    "OperatorStats",
+    "MapOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "WindowAggregateOperator",
+    "SessionWindowOperator",
+    "WindowJoinOperator",
+    "Pipeline",
+    "PipelineResult",
+]

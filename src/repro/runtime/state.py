@@ -1,0 +1,99 @@
+"""Keyed state with access accounting.
+
+A minimal RocksDB-stand-in: a per-key map whose reads and writes are
+counted and sized, so a pipeline run reports the quantities CAPSys'
+profiling phase measures on the real state backend — bytes read and
+written per record (paper section 5.1) — for the runtime queries.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+def default_sizer(value: Any) -> int:
+    """Rough serialized-size estimate of a state value in bytes.
+
+    Containers are sized recursively one level deep; this approximates
+    what a serializer would write without requiring one.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, (list, tuple, set)):
+        return 8 + sum(default_sizer(v) for v in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            default_sizer(k) + default_sizer(v) for k, v in value.items()
+        )
+    return max(8, sys.getsizeof(value) // 2)
+
+
+@dataclass
+class StateStats:
+    """Access counters for one state store."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def io_bytes(self) -> int:
+        """Total state-access bytes (the paper's state access metric)."""
+        return self.bytes_read + self.bytes_written
+
+
+class KeyedState:
+    """A keyed key-value store with access accounting.
+
+    Keys are arbitrary hashables (typically ``(element_key, window)``
+    pairs); values are whatever the operator accumulates.
+    """
+
+    def __init__(self, sizer: Callable[[Any], int] = default_sizer) -> None:
+        self._table: Dict[Any, Any] = {}
+        self._sizer = sizer
+        self.stats = StateStats()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self.stats.reads += 1
+        value = self._table.get(key, default)
+        if key in self._table:
+            self.stats.bytes_read += self._sizer(value)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self.stats.writes += 1
+        self.stats.bytes_written += self._sizer(value)
+        self._table[key] = value
+
+    def delete(self, key: Any) -> None:
+        if key in self._table:
+            self.stats.deletes += 1
+            del self._table[key]
+
+    def contains(self, key: Any) -> bool:
+        return key in self._table
+
+    def keys(self) -> Iterator[Any]:
+        # iteration used by window triggers; counts as a scan read
+        self.stats.reads += 1
+        return iter(list(self._table.keys()))
+
+    def size_bytes(self) -> int:
+        """Current retained state size (drives memory accounting)."""
+        return sum(
+            self._sizer(k) + self._sizer(v) for k, v in self._table.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,22 @@
+"""Auto-scaling: the DS2 controller (Kalavri et al., OSDI 2018).
+
+DS2 is the scaling controller CAPSys builds on (paper Figure 6, step 3):
+it observes each operator's *true* processing rate — the rate a task
+sustains while busy — and computes, in one topological pass, the minimal
+parallelism per operator that sustains the target source rates.
+
+The placement-scaling interaction the paper studies (section 6.4) flows
+through the true rates: resource contention from a bad placement lowers
+measured true rates, inflating DS2's parallelism estimates (overshoot)
+and destabilising convergence.
+"""
+
+from repro.scaling.ds2 import DS2Controller, ScalingDecision
+from repro.scaling.rates import OperatorRates, aggregate_operator_rates
+
+__all__ = [
+    "DS2Controller",
+    "ScalingDecision",
+    "OperatorRates",
+    "aggregate_operator_rates",
+]

@@ -1,0 +1,58 @@
+"""Aggregation of task-level rate observations to operator level.
+
+DS2 reasons about logical operators; the metrics collector reports task
+rates. This module rolls task observations up to per-operator true
+rates and selectivities, the two quantities the DS2 model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.dataflow.physical import PhysicalGraph
+from repro.simulator.metrics import TaskRates
+
+OperatorKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class OperatorRates:
+    """Operator-level aggregates of one metrics window.
+
+    Attributes:
+        true_rate_per_task: Mean true processing rate over the
+            operator's tasks (records/s a task sustains while busy).
+        observed_rate: Total records/s the operator processed.
+        observed_output_rate: Total records/s the operator emitted.
+        busy_fraction: Mean busy fraction over tasks.
+    """
+
+    true_rate_per_task: float
+    observed_rate: float
+    observed_output_rate: float
+    busy_fraction: float
+
+    def selectivity(self, fallback: float = 1.0) -> float:
+        """Observed output/input ratio, or ``fallback`` when starved."""
+        if self.observed_rate <= 1e-9:
+            return fallback
+        return self.observed_output_rate / self.observed_rate
+
+
+def aggregate_operator_rates(
+    physical: PhysicalGraph, task_rates: Mapping[str, TaskRates]
+) -> Dict[OperatorKey, OperatorRates]:
+    """Roll task-level rates up to (job_id, operator) aggregates."""
+    result: Dict[OperatorKey, OperatorRates] = {}
+    for key in physical.operator_keys():
+        members = physical.operator_tasks(*key)
+        rates = [task_rates[t.uid] for t in members]
+        true_rates = [r.true_rate for r in rates]
+        result[key] = OperatorRates(
+            true_rate_per_task=sum(true_rates) / len(true_rates),
+            observed_rate=sum(r.observed_rate for r in rates),
+            observed_output_rate=sum(r.observed_output_rate for r in rates),
+            busy_fraction=sum(r.busy_fraction for r in rates) / len(rates),
+        )
+    return result

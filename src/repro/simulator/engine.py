@@ -1,0 +1,556 @@
+"""The fluid-flow simulation engine.
+
+One :class:`FluidSimulation` instance simulates one deployment: a
+physical graph placed on a cluster by a placement plan, driven by
+per-source target-rate patterns. Records are continuous quantities and
+time advances in fixed ticks; see the package docstring and DESIGN.md
+for the modelling rationale.
+
+Per tick the engine resolves, in order:
+
+1. **Offered load**: what each task would process this tick — its queue
+   backlog (or target generation for sources), capped by its single
+   processing thread (one slot = one thread = at most one core).
+2. **Resource contention**: per-worker CPU, disk, and NIC grant
+   fractions via proportional fair sharing with convex penalties; a
+   task's processing is scaled by the worst grant among the resources
+   it uses.
+3. **Backpressure**: bounded downstream buffers throttle emitters
+   (credit-style head-of-line blocking: a task processes only what its
+   most congested downstream channel can absorb), and the shortfall of
+   each source against its target is the reported backpressure.
+4. **Metrics**: per-job throughput/backpressure/latency samples and the
+   per-task observed and *true* rates DS2 consumes.
+
+Reconfigurations are modelled by the controller layer: it stops one
+engine, applies a restart downtime, and starts a new engine with the
+new physical graph and plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dataflow.cluster import Cluster
+from repro.dataflow.physical import PhysicalGraph
+from repro.dataflow.validation import validate_deployment
+from repro.core.plan import PlacementPlan
+from repro.simulator.backpressure import distribute_inflow, throttle_emissions
+from repro.simulator.contention import (
+    ContentionConfig,
+    proportional_scale,
+    thread_oversubscription_penalty,
+)
+from repro.simulator.metrics import MetricsCollector, TickSample
+from repro.simulator.network import NicModel
+from repro.simulator.results import SimulationSummary
+from repro.simulator.state_backend import DiskModel
+from repro.workloads.rates import ConstantRate, RatePattern
+
+MIB = 1024.0 ** 2
+_HUGE_RATE = 1e12
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine tuning knobs.
+
+    Attributes:
+        dt: Tick length in simulated seconds.
+        contention: Convexity coefficients of the contention models.
+        buffer_bytes_per_task: Input buffer per task; divided by the
+            incoming record size to obtain the queue capacity in records
+            (Flink's network memory with buffer debloating enabled keeps
+            this small and roughly constant per task).
+        min_queue_records: Lower bound on queue capacity in records.
+        metrics_window_ticks: Rolling window for DS2 task rates.
+        noise_std: Relative std-dev of multiplicative measurement noise
+            applied to *reported* task rates (never to the dynamics);
+            0 disables noise entirely.
+        seed: Seed for the measurement-noise generator.
+    """
+
+    dt: float = 1.0
+    contention: ContentionConfig = field(default_factory=ContentionConfig)
+    buffer_bytes_per_task: float = 16.0 * MIB
+    min_queue_records: float = 10.0
+    #: Upper bound on queue capacity expressed in seconds of the task's
+    #: uncontended service rate. Models Flink's buffer debloating, which
+    #: keeps in-flight data to roughly a constant *time*, not a constant
+    #: byte volume — without it, small-record streams would buffer
+    #: minutes of data and mask backpressure for the whole experiment.
+    max_buffer_seconds: float = 5.0
+    metrics_window_ticks: int = 60
+    noise_std: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.buffer_bytes_per_task <= 0:
+            raise ValueError("buffer_bytes_per_task must be positive")
+        if self.min_queue_records <= 0:
+            raise ValueError("min_queue_records must be positive")
+        if self.max_buffer_seconds < self.dt:
+            raise ValueError("max_buffer_seconds must be at least one tick")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+
+SourceRates = Mapping[Union[str, Tuple[str, str]], Union[float, RatePattern]]
+
+
+class FluidSimulation:
+    """Simulates one placed deployment under driven source rates.
+
+    Args:
+        physical: The physical execution graph (possibly multi-job).
+        cluster: The worker cluster.
+        plan: A placement plan valid for (physical, cluster).
+        source_rates: Target rate per source operator. Keys are
+            ``(job_id, operator)`` pairs, or bare operator names when
+            unambiguous across jobs; values are records/s floats or
+            :class:`~repro.workloads.rates.RatePattern` instances.
+        config: Engine configuration.
+        network_cap_bytes_per_s: Optional override capping every
+            worker's outbound bandwidth (paper section 3.3's 1 Gbps
+            experiment), taking precedence over the worker specs.
+    """
+
+    def __init__(
+        self,
+        physical: PhysicalGraph,
+        cluster: Cluster,
+        plan: PlacementPlan,
+        source_rates: SourceRates,
+        config: Optional[SimulationConfig] = None,
+        network_cap_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        self.physical = physical
+        self.cluster = cluster
+        self.plan = plan
+        self.config = config or SimulationConfig()
+        validate_deployment(physical, cluster)
+        plan.validate(physical, cluster)
+
+        self._rng = np.random.default_rng(self.config.seed)
+        self.time_s = 0.0
+        self._tick_index = 0
+
+        self._patterns = self._normalise_source_rates(source_rates)
+        self._build_arrays(network_cap_bytes_per_s)
+
+        job_ids = [g.job_id for g in physical.logical_graphs]
+        self.metrics = MetricsCollector(
+            job_ids=job_ids,
+            task_uids=[t.uid for t in physical.tasks],
+            window_ticks=self.config.metrics_window_ticks,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _normalise_source_rates(
+        self, source_rates: SourceRates
+    ) -> Dict[Tuple[str, str], RatePattern]:
+        by_name: Dict[str, List[Tuple[str, str]]] = {}
+        source_keys: List[Tuple[str, str]] = []
+        for graph in self.physical.logical_graphs:
+            for op in graph.sources():
+                key = (graph.job_id, op)
+                source_keys.append(key)
+                by_name.setdefault(op, []).append(key)
+
+        patterns: Dict[Tuple[str, str], RatePattern] = {}
+        for raw_key, value in source_rates.items():
+            if isinstance(raw_key, tuple):
+                key = raw_key
+            else:
+                candidates = by_name.get(raw_key, [])
+                if len(candidates) != 1:
+                    raise KeyError(
+                        f"source name {raw_key!r} is ambiguous or unknown; "
+                        f"use a (job_id, operator) key"
+                    )
+                key = candidates[0]
+            if key not in source_keys:
+                raise KeyError(f"{key} is not a source operator of this deployment")
+            pattern = value if isinstance(value, RatePattern) else ConstantRate(float(value))
+            patterns[key] = pattern
+        missing = set(source_keys) - set(patterns)
+        if missing:
+            raise KeyError(f"missing source rates for {sorted(missing)}")
+        return patterns
+
+    def _build_arrays(self, network_cap: Optional[float]) -> None:
+        physical, cluster, config = self.physical, self.cluster, self.config
+        tasks = physical.tasks
+        n = len(tasks)
+
+        worker_pos = {w.worker_id: i for i, w in enumerate(cluster.workers)}
+        self._worker_count = len(cluster.workers)
+        self.worker = np.array(
+            [worker_pos[self.plan.worker_of(t)] for t in tasks], dtype=np.int64
+        )
+        self.cpu_capacity = np.array(
+            [w.spec.cpu_capacity for w in cluster.workers], dtype=float
+        )
+        disk_capacity = np.array(
+            [w.spec.disk_bandwidth for w in cluster.workers], dtype=float
+        )
+        net_capacity = np.array(
+            [
+                network_cap if network_cap is not None else w.spec.network_bandwidth
+                for w in cluster.workers
+            ],
+            dtype=float,
+        )
+        self.disk = DiskModel(disk_capacity, config.contention)
+        self.nic = NicModel(net_capacity, config.contention)
+
+        job_ids = [g.job_id for g in physical.logical_graphs]
+        job_pos = {job: i for i, job in enumerate(job_ids)}
+
+        self.cpu = np.zeros(n)
+        self.io = np.zeros(n)
+        self.outb = np.zeros(n)
+        self.sel = np.zeros(n)
+        self.state_growth = np.zeros(n)
+        self.is_source = np.zeros(n, dtype=bool)
+        self.job_idx = np.zeros(n, dtype=np.int64)
+        self.queue_cap = np.zeros(n)
+        self.gc_period = np.zeros(n)
+        self.gc_duration = np.zeros(n)
+        self.gc_magnitude = np.zeros(n)
+        self.gc_phase = np.zeros(n)
+        self._source_share = np.zeros(n)
+
+        for i, task in enumerate(tasks):
+            spec = physical.spec_of(task)
+            self.cpu[i] = spec.cpu_per_record
+            self.io[i] = spec.io_bytes_per_record
+            self.outb[i] = spec.out_record_bytes
+            self.sel[i] = spec.selectivity
+            self.state_growth[i] = spec.state_bytes_per_record
+            self.is_source[i] = spec.is_source
+            self.job_idx[i] = job_pos[task.job_id]
+            if spec.gc_spike is not None:
+                parallelism = len(physical.operator_tasks(task.job_id, task.operator))
+                self.gc_period[i] = spec.gc_spike.period_s
+                self.gc_duration[i] = spec.gc_spike.duration_s
+                self.gc_magnitude[i] = spec.gc_spike.magnitude
+                self.gc_phase[i] = spec.gc_spike.period_s * task.index / max(1, parallelism)
+            if spec.is_source:
+                members = physical.operator_tasks(task.job_id, task.operator)
+                self._source_share[i] = 1.0 / len(members)
+                self.queue_cap[i] = math.inf  # sources have no input queue
+            else:
+                in_channels = physical.in_channels(task)
+                in_record_bytes = max(
+                    (physical.spec_of(ch.src).out_record_bytes for ch in in_channels),
+                    default=100.0,
+                )
+                in_record_bytes = max(in_record_bytes, 1.0)
+                self.queue_cap[i] = max(
+                    config.min_queue_records,
+                    config.buffer_bytes_per_task / in_record_bytes,
+                )
+
+        channels = physical.channels
+        self.c_src = np.array([physical.index_of(ch.src) for ch in channels], dtype=np.int64)
+        self.c_dst = np.array([physical.index_of(ch.dst) for ch in channels], dtype=np.int64)
+        self.c_share = np.array([ch.share for ch in channels], dtype=float)
+        self.c_reroutable = np.array([ch.reroutable for ch in channels], dtype=bool)
+        self.c_cross = self.worker[self.c_src] != self.worker[self.c_dst]
+
+        # Static per-task cross-worker output bytes per *input* record,
+        # used for the true-rate service-time model.
+        cross_bytes = np.zeros(n)
+        if len(channels):
+            per_channel = self.c_share * self.outb[self.c_src] * self.sel[self.c_src]
+            np.add.at(cross_bytes, self.c_src[self.c_cross], per_channel[self.c_cross])
+        self.cross_bytes_per_record = cross_bytes
+
+        # Queue capacity bounds, in records of uncontended service:
+        # - lower bound 1.25 ticks: with coarse fluid ticks, a buffer
+        #   smaller than a service quantum would artificially cap
+        #   throughput at queue_cap/dt (real credit exchange happens at
+        #   millisecond granularity);
+        # - upper bound ``max_buffer_seconds``: buffer debloating keeps
+        #   in-flight data to a bounded *time*, so contention surfaces
+        #   as backpressure within seconds instead of being absorbed by
+        #   minutes of buffered records.
+        gc_avg = np.ones(n)
+        spiky = self.gc_period > 0
+        gc_avg[spiky] += (
+            self.gc_magnitude[spiky] * self.gc_duration[spiky] / self.gc_period[spiky]
+        )
+        service_time = self.cpu * gc_avg
+        service_time = service_time + self.io / self.disk.capacity[self.worker]
+        service_time = service_time + self.cross_bytes_per_record / self.nic.capacity[
+            self.worker
+        ]
+        with np.errstate(divide="ignore"):
+            tick_service = np.where(
+                service_time > 0,
+                config.dt / np.maximum(service_time, 1e-12),
+                np.inf,
+            )
+        debloated = np.clip(
+            self.queue_cap,
+            None,
+            np.maximum(
+                config.min_queue_records,
+                (config.max_buffer_seconds / config.dt) * tick_service,
+            ),
+        )
+        self.queue_cap = np.where(
+            self.is_source,
+            self.queue_cap,
+            np.maximum(debloated, 1.25 * np.where(np.isfinite(tick_service), tick_service, 0.0)),
+        )
+
+        self.queue = np.zeros(n)
+        self.state_bytes = np.zeros(n)
+        self._last_proc = np.zeros(n)
+        self._source_indices: Dict[Tuple[str, str], np.ndarray] = {}
+        for key in self._patterns:
+            members = physical.operator_tasks(*key)
+            self._source_indices[key] = np.array(
+                [physical.index_of(t) for t in members], dtype=np.int64
+            )
+        self._job_sources: Dict[str, List[Tuple[str, str]]] = {}
+        for key in self._patterns:
+            self._job_sources.setdefault(key[0], []).append(key)
+        self._job_task_mask: Dict[str, np.ndarray] = {
+            job: self.job_idx == job_pos[job] for job in job_ids
+        }
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def _gc_factor(self) -> np.ndarray:
+        factor = np.ones_like(self.cpu)
+        spiky = self.gc_period > 0
+        if np.any(spiky):
+            phase_time = (self.time_s + self.gc_phase[spiky]) % self.gc_period[spiky]
+            active = phase_time < self.gc_duration[spiky]
+            bump = np.ones(int(np.sum(spiky)))
+            bump[active] += self.gc_magnitude[spiky][active]
+            factor[spiky] = bump
+        return factor
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        cfg = self.config
+        dt = cfg.dt
+        n = len(self.cpu)
+
+        # 1. Offered load. A task's offer is capped by its single
+        # processing thread working at full speed through the complete
+        # per-record service (CPU + state I/O + cross-worker emission):
+        # a sequential thread cannot demand more of any resource than it
+        # could consume processing alone, so backlog size never inflates
+        # contention.
+        target = np.zeros(n)
+        for key, pattern in self._patterns.items():
+            idx = self._source_indices[key]
+            target[idx] = pattern(self.time_s) * self._source_share[idx]
+        cpu_eff = self.cpu * self._gc_factor()
+        service_floor = (
+            cpu_eff
+            + self.io / self.disk.capacity[self.worker]
+            + self.cross_bytes_per_record / self.nic.capacity[self.worker]
+        )
+        want = np.where(self.is_source, target * dt, self.queue)
+        with np.errstate(divide="ignore"):
+            thread_cap = np.where(
+                service_floor > 0, dt / np.maximum(service_floor, 1e-300), np.inf
+            )
+        want = np.minimum(want, thread_cap)
+
+        # 2. Resource contention.
+        cpu_demand = want * cpu_eff / dt
+        cpu_by_worker = np.bincount(
+            self.worker, weights=cpu_demand, minlength=self._worker_count
+        )
+        active = cpu_demand > cfg.contention.cpu_active_share
+        active_threads = np.bincount(
+            self.worker[active], minlength=self._worker_count
+        )
+        cpu_penalty = thread_oversubscription_penalty(
+            active_threads, self.cpu_capacity, cfg.contention.cpu_thread_penalty
+        )
+        cpu_effective = self.cpu_capacity / cpu_penalty
+        cpu_scale = proportional_scale(cpu_by_worker, cpu_effective)
+        io_demand = want * self.io / dt
+        io_scale = self.disk.scale(io_demand, self.worker, self._worker_count)
+
+        out_recs_want = want * self.sel
+        if len(self.c_src):
+            channel_bytes = (
+                out_recs_want[self.c_src] * self.c_share * self.outb[self.c_src] / dt
+            )
+            net_by_worker = np.bincount(
+                self.worker[self.c_src[self.c_cross]],
+                weights=channel_bytes[self.c_cross],
+                minlength=self._worker_count,
+            )
+        else:
+            net_by_worker = np.zeros(self._worker_count)
+        net_scale = self.nic.scale(net_by_worker)
+
+        scale = np.ones(n)
+        scale = np.minimum(scale, np.where(cpu_eff > 0, cpu_scale[self.worker], 1.0))
+        scale = np.minimum(scale, np.where(self.io > 0, io_scale[self.worker], 1.0))
+        has_cross_out = self.cross_bytes_per_record > 0
+        scale = np.minimum(
+            scale, np.where(has_cross_out, net_scale[self.worker], 1.0)
+        )
+        proc = want * scale
+
+        # 3. Backpressure via bounded downstream buffers. The drain
+        # credit is last tick's *actual* processing: using this tick's
+        # resource-limited offer would over-credit destinations whose
+        # final processing is emission-throttled, letting queues run
+        # away past their caps.
+        out_recs = proc * self.sel
+        throttles = throttle_emissions(
+            out_recs,
+            self.c_src,
+            self.c_dst,
+            self.c_share,
+            self.queue,
+            self.queue_cap,
+            draining=self._last_proc,
+            c_reroutable=self.c_reroutable,
+        )
+        proc_final = proc * throttles.throttle
+        self._last_proc = proc_final
+        out_recs_final = proc_final * self.sel
+        inflow = distribute_inflow(
+            out_recs_final, self.c_src, self.c_dst, self.c_share, throttles
+        )
+
+        self.queue = np.where(
+            self.is_source, 0.0, self.queue - proc_final + inflow
+        )
+        self.queue = np.maximum(self.queue, 0.0)
+        self.state_bytes += proc_final * self.state_growth
+
+        # 4. Metrics.
+        self._record_metrics(
+            target, proc_final, out_recs_final, cpu_eff, cpu_scale, io_scale, net_scale, dt
+        )
+        self.time_s += dt
+        self._tick_index += 1
+
+    def _record_metrics(
+        self,
+        target: np.ndarray,
+        proc_final: np.ndarray,
+        out_recs_final: np.ndarray,
+        cpu_eff: np.ndarray,
+        cpu_scale: np.ndarray,
+        io_scale: np.ndarray,
+        net_scale: np.ndarray,
+        dt: float,
+    ) -> None:
+        w = self.worker
+        disk_cap = self.disk.capacity
+        net_cap = self.nic.capacity
+        service_time = cpu_eff / np.maximum(cpu_scale[w], 1e-12)
+        service_time = service_time + self.io / np.maximum(
+            disk_cap[w] * io_scale[w], 1e-12
+        )
+        service_time = service_time + self.cross_bytes_per_record / np.maximum(
+            net_cap[w] * net_scale[w], 1e-12
+        )
+        with np.errstate(divide="ignore"):
+            true_rate = np.where(
+                service_time > 0, 1.0 / np.maximum(service_time, 1e-12), _HUGE_RATE
+            )
+        true_rate = np.minimum(true_rate, _HUGE_RATE)
+        observed = proc_final / dt
+        busy = np.clip(proc_final * service_time / dt, 0.0, 1.0)
+
+        if self.config.noise_std > 0:
+            noise = self._rng.normal(
+                1.0, self.config.noise_std, size=len(observed) * 2
+            )
+            observed = observed * np.clip(noise[: len(observed)], 0.5, 1.5)
+            true_rate = true_rate * np.clip(noise[len(observed) :], 0.5, 1.5)
+
+        self.metrics.record_task_tick(observed, true_rate, out_recs_final / dt, busy)
+        cpu_util = (
+            np.bincount(w, weights=proc_final * cpu_eff / dt, minlength=self._worker_count)
+            / self.cpu_capacity
+        )
+        io_rate = np.bincount(
+            w, weights=proc_final * self.io / dt, minlength=self._worker_count
+        )
+        if len(self.c_src):
+            cross_bytes = (
+                out_recs_final[self.c_src] * self.c_share * self.outb[self.c_src] / dt
+            )
+            net_rate = np.bincount(
+                w[self.c_src[self.c_cross]],
+                weights=cross_bytes[self.c_cross],
+                minlength=self._worker_count,
+            )
+        else:
+            net_rate = np.zeros(self._worker_count)
+        self.metrics.record_worker_usage(cpu_util, io_rate, net_rate)
+
+        for job_id, keys in self._job_sources.items():
+            idx = np.concatenate([self._source_indices[k] for k in keys])
+            job_target = float(np.sum(target[idx]))
+            job_throughput = float(np.sum(proc_final[idx])) / dt
+            backpressure = (
+                max(0.0, 1.0 - job_throughput / job_target) if job_target > 0 else 0.0
+            )
+            queued = float(np.sum(self.queue[self._job_task_mask[job_id]]))
+            # Little's-law latency estimate; floored at 1% of target so a
+            # near-stalled tick reports a large-but-finite latency instead
+            # of a divide-by-zero artefact.
+            latency_floor = max(0.01 * job_target, 1e-6)
+            latency = queued / max(job_throughput, latency_floor)
+            self.metrics.record_job_tick(
+                job_id,
+                TickSample(
+                    # stamp at tick end: the sample describes [t, t+dt)
+                    time_s=self.time_s + dt,
+                    target_rate=job_target,
+                    throughput=job_throughput,
+                    backpressure=backpressure,
+                    latency_s=latency,
+                    queued_records=queued,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float, warmup_s: float = 0.0) -> SimulationSummary:
+        """Simulate for ``duration_s`` and summarise the post-warmup part."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        ticks = max(1, int(round(duration_s / self.config.dt)))
+        for _ in range(ticks):
+            self.step()
+        return self.metrics.summarize(warmup_s=warmup_s)
+
+    def run_until(self, time_s: float) -> None:
+        """Advance the simulation up to an absolute simulated time."""
+        while self.time_s < time_s - 1e-9:
+            self.step()
+
+    def worker_state_bytes(self) -> np.ndarray:
+        """Accumulated state-backend bytes per worker (diagnostics)."""
+        return np.bincount(
+            self.worker, weights=self.state_bytes, minlength=self._worker_count
+        )

@@ -1,0 +1,189 @@
+"""Metrics collection, mirroring the CAPSys Metrics Collector.
+
+The paper's metrics collector (section 5.1) records, per task, the
+useful time, observed and true input/output rates (the DS2 quantities),
+selectivity statistics, and per-worker CPU utilisation. Here the
+simulator pushes one observation per tick; consumers pull either
+summaries (the experiment harness) or windowed per-task rates (DS2 and
+the profiler) on demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.simulator.results import JobSummary, SimulationSummary
+
+
+@dataclass(frozen=True)
+class TaskRates:
+    """Windowed rate observations for one task (the DS2 inputs).
+
+    Attributes:
+        observed_rate: Records/s the task actually processed.
+        true_rate: Records/s the task could process if never idle — the
+            observed rate divided by its busy fraction (DS2's "true
+            processing rate"). Resource contention lowers this value,
+            which is precisely how bad placements mislead DS2.
+        observed_output_rate: Records/s emitted.
+        busy_fraction: Fraction of time spent actively processing.
+    """
+
+    observed_rate: float
+    true_rate: float
+    observed_output_rate: float
+    busy_fraction: float
+
+    @property
+    def selectivity(self) -> float:
+        if self.observed_rate <= 0:
+            return 0.0
+        return self.observed_output_rate / self.observed_rate
+
+
+@dataclass(frozen=True)
+class TickSample:
+    """Per-job metrics recorded for one simulation tick."""
+
+    time_s: float
+    target_rate: float
+    throughput: float
+    backpressure: float
+    latency_s: float
+    queued_records: float
+
+
+class MetricsCollector:
+    """Accumulates per-tick job metrics and windowed task rates.
+
+    Args:
+        job_ids: The jobs of the deployment.
+        task_uids: Dense-order task uids (simulator index order).
+        window_ticks: Size of the rolling window used for task rates;
+            DS2 reads averages over this window.
+    """
+
+    def __init__(
+        self,
+        job_ids: List[str],
+        task_uids: List[str],
+        window_ticks: int = 60,
+    ) -> None:
+        if window_ticks < 1:
+            raise ValueError("window_ticks must be >= 1")
+        self.job_ids = list(job_ids)
+        self.task_uids = list(task_uids)
+        self.window_ticks = window_ticks
+        self._samples: Dict[str, List[TickSample]] = {j: [] for j in self.job_ids}
+        self._worker_cpu: List[np.ndarray] = []
+        self._worker_io: List[np.ndarray] = []
+        self._worker_net: List[np.ndarray] = []
+        self._task_window: Deque[Dict[str, np.ndarray]] = deque(maxlen=window_ticks)
+
+    # ------------------------------------------------------------------
+    # Recording (called by the engine once per tick)
+    # ------------------------------------------------------------------
+    def record_job_tick(self, job_id: str, sample: TickSample) -> None:
+        self._samples[job_id].append(sample)
+
+    def record_task_tick(
+        self,
+        observed_rate: np.ndarray,
+        true_rate: np.ndarray,
+        observed_output_rate: np.ndarray,
+        busy_fraction: np.ndarray,
+    ) -> None:
+        self._task_window.append(
+            {
+                "observed": observed_rate.copy(),
+                "true": true_rate.copy(),
+                "out": observed_output_rate.copy(),
+                "busy": busy_fraction.copy(),
+            }
+        )
+
+    def record_worker_usage(
+        self,
+        cpu_utilisation: np.ndarray,
+        io_bytes_per_s: np.ndarray,
+        net_bytes_per_s: np.ndarray,
+    ) -> None:
+        """Per-worker resource usage for one tick (profiling inputs)."""
+        self._worker_cpu.append(cpu_utilisation.copy())
+        self._worker_io.append(io_bytes_per_s.copy())
+        self._worker_net.append(net_bytes_per_s.copy())
+
+    # ------------------------------------------------------------------
+    # Task-rate queries (DS2 / profiler)
+    # ------------------------------------------------------------------
+    def task_rates(self) -> Dict[str, TaskRates]:
+        """Windowed average rates per task uid."""
+        if not self._task_window:
+            raise RuntimeError("no task samples recorded yet")
+        observed = np.mean([s["observed"] for s in self._task_window], axis=0)
+        true = np.mean([s["true"] for s in self._task_window], axis=0)
+        out = np.mean([s["out"] for s in self._task_window], axis=0)
+        busy = np.mean([s["busy"] for s in self._task_window], axis=0)
+        return {
+            uid: TaskRates(
+                observed_rate=float(observed[i]),
+                true_rate=float(true[i]),
+                observed_output_rate=float(out[i]),
+                busy_fraction=float(busy[i]),
+            )
+            for i, uid in enumerate(self.task_uids)
+        }
+
+    def _worker_mean(
+        self, series: List[np.ndarray], warmup_s: float, dt: float
+    ) -> np.ndarray:
+        if not series:
+            raise RuntimeError("no worker samples recorded yet")
+        start = min(int(warmup_s / dt), len(series) - 1)
+        return np.mean(series[start:], axis=0)
+
+    def worker_cpu_utilisation(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
+        """Mean post-warmup CPU utilisation per worker."""
+        return self._worker_mean(self._worker_cpu, warmup_s, dt)
+
+    def worker_io_rate(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
+        """Mean post-warmup state-backend bytes/s per worker."""
+        return self._worker_mean(self._worker_io, warmup_s, dt)
+
+    def worker_net_rate(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
+        """Mean post-warmup outbound cross-worker bytes/s per worker."""
+        return self._worker_mean(self._worker_net, warmup_s, dt)
+
+    # ------------------------------------------------------------------
+    # Job-level series and summaries
+    # ------------------------------------------------------------------
+    def job_series(self, job_id: str) -> List[TickSample]:
+        try:
+            return list(self._samples[job_id])
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def summarize(self, warmup_s: float = 0.0) -> SimulationSummary:
+        """Average the post-warmup portion of every job's series."""
+        jobs: Dict[str, JobSummary] = {}
+        duration = 0.0
+        for job_id, samples in self._samples.items():
+            if not samples:
+                raise RuntimeError(f"no samples recorded for job {job_id!r}")
+            duration = max(duration, samples[-1].time_s)
+            window = [s for s in samples if s.time_s >= warmup_s]
+            if not window:
+                window = samples[-1:]
+            jobs[job_id] = JobSummary(
+                job_id=job_id,
+                target_rate=float(np.mean([s.target_rate for s in window])),
+                throughput=float(np.mean([s.throughput for s in window])),
+                backpressure=float(np.mean([s.backpressure for s in window])),
+                latency_s=float(np.mean([s.latency_s for s in window])),
+                duration_s=duration - warmup_s if duration > warmup_s else duration,
+            )
+        return SimulationSummary(jobs=jobs, duration_s=duration, warmup_s=warmup_s)

@@ -1,0 +1,70 @@
+"""Result summaries for simulation runs.
+
+The paper reports three headline metrics per query (sections 3.1, 6.2):
+average source throughput, backpressure at the source (the fraction of
+time the source is blocked, reported instead of latency because Flink's
+latency markers miss source-side queueing), and average end-to-end
+latency. :class:`JobSummary` carries all three plus the target rate so
+callers can ask :meth:`JobSummary.meets_target`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class JobSummary:
+    """Aggregate post-warmup metrics for one streaming job."""
+
+    job_id: str
+    target_rate: float
+    throughput: float
+    backpressure: float
+    latency_s: float
+    duration_s: float
+
+    def meets_target(self, tolerance: float = 0.05) -> bool:
+        """Whether mean throughput reached the mean target rate.
+
+        ``tolerance`` allows the small shortfall that warmup transients
+        introduce even for healthy deployments (default 5%).
+        """
+        if self.target_rate <= 0:
+            return True
+        return self.throughput >= self.target_rate * (1.0 - tolerance)
+
+
+@dataclass
+class SimulationSummary:
+    """Per-job summaries plus whole-run metadata."""
+
+    jobs: Dict[str, JobSummary]
+    duration_s: float
+    warmup_s: float
+
+    def job(self, job_id: str) -> JobSummary:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            known = ", ".join(sorted(self.jobs))
+            raise KeyError(f"unknown job {job_id!r}; jobs: {known}") from None
+
+    @property
+    def only(self) -> JobSummary:
+        """The single job's summary (single-query experiments)."""
+        if len(self.jobs) != 1:
+            raise ValueError(f"expected exactly one job, have {len(self.jobs)}")
+        return next(iter(self.jobs.values()))
+
+    def all_meet_target(self, tolerance: float = 0.05) -> bool:
+        return all(job.meets_target(tolerance) for job in self.jobs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{job_id}: {s.throughput:.0f}/{s.target_rate:.0f} rec/s, "
+            f"bp={s.backpressure:.1%}"
+            for job_id, s in sorted(self.jobs.items())
+        ]
+        return "SimulationSummary(" + "; ".join(parts) + ")"

@@ -1,0 +1,59 @@
+"""Workloads: the paper's six evaluation queries and synthetic generators.
+
+The paper evaluates on Q1-sliding, Q2-join, Q3-inf (sections 3.1/6.1) and
+three more Nexmark-derived queries Q4-join, Q5-aggregate, Q6-session
+(Nexmark Q3, Q6, Q11 respectively). We rebuild each as a logical operator
+graph whose per-record unit costs stress the same resource dimension the
+paper attributes to it:
+
+- Q1-sliding: stateful sliding window -- I/O plus compute on the window.
+- Q2-join:    tumbling window join accumulating large state -- disk I/O.
+- Q3-inf:     image pipeline with model inference -- compute (with GC
+  spikes) and network (large records).
+- Q4-join:    incremental join (Nexmark Q3).
+- Q5-aggregate: join + process function (Nexmark Q6).
+- Q6-session: session window with large state (Nexmark Q11).
+
+:mod:`repro.workloads.nexmark` provides record-level Nexmark event
+generators used by the examples and by the empirical unit-cost
+derivations; :mod:`repro.workloads.rates` provides the input-rate
+patterns driving the variable-workload experiments (paper section 6.4).
+"""
+
+from repro.workloads.queries import (
+    ALL_QUERIES,
+    QueryPreset,
+    q1_sliding,
+    q2_join,
+    q3_inf,
+    q4_join,
+    q5_aggregate,
+    q6_session,
+    query_by_name,
+)
+from repro.workloads.rates import (
+    ConstantRate,
+    RatePattern,
+    RampRate,
+    SineRate,
+    SquareWaveRate,
+    StepSchedule,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "QueryPreset",
+    "q1_sliding",
+    "q2_join",
+    "q3_inf",
+    "q4_join",
+    "q5_aggregate",
+    "q6_session",
+    "query_by_name",
+    "RatePattern",
+    "ConstantRate",
+    "StepSchedule",
+    "SquareWaveRate",
+    "SineRate",
+    "RampRate",
+]

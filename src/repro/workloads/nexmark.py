@@ -1,0 +1,300 @@
+"""Record-level Nexmark-style event generation and reference semantics.
+
+The paper's evaluation queries come from the Nexmark benchmark suite
+(auctions, bids, persons) [Tucker et al. 2002; Apache Beam]. The fluid
+simulator only needs per-record unit costs, but the examples and the
+empirical validation tests use actual records: this module provides a
+deterministic event generator and small single-process reference
+implementations of the query semantics (sliding-window counts, tumbling
+window join, session windows). The reference implementations are also
+used to sanity-check the selectivity constants baked into
+:mod:`repro.workloads.queries`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+FIRST_PERSON_ID = 1000
+FIRST_AUCTION_ID = 2000
+
+
+@dataclass(frozen=True)
+class Person:
+    """A registered marketplace user."""
+
+    person_id: int
+    name: str
+    city: str
+    state: str
+    timestamp_ms: int
+
+
+@dataclass(frozen=True)
+class Auction:
+    """An auction opened by a seller."""
+
+    auction_id: int
+    seller_id: int
+    category: int
+    initial_bid: int
+    expires_ms: int
+    timestamp_ms: int
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A bid placed on an open auction."""
+
+    auction_id: int
+    bidder_id: int
+    price: int
+    timestamp_ms: int
+
+
+Event = Tuple[str, object]  # ("person"|"auction"|"bid", record)
+
+_CITIES = ["Boston", "Seattle", "Austin", "Portland", "Chicago", "Denver"]
+_STATES = ["MA", "WA", "TX", "OR", "IL", "CO"]
+_NAMES = ["ada", "grace", "alan", "edsger", "barbara", "dennis", "ken", "leslie"]
+
+
+class NexmarkGenerator:
+    """Deterministic Nexmark event stream generator.
+
+    Events are generated in timestamp order with the classic Nexmark
+    person:auction:bid proportions of 1:3:46 by default. The generator is
+    seeded and therefore fully reproducible; two generators with the same
+    seed yield identical streams.
+
+    Example:
+        >>> gen = NexmarkGenerator(seed=7, events_per_second=100.0)
+        >>> kinds = [kind for kind, _ in gen.take(50)]
+        >>> kinds.count("bid") > kinds.count("auction") > kinds.count("person")
+        True
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        events_per_second: float = 1000.0,
+        person_proportion: int = 1,
+        auction_proportion: int = 3,
+        bid_proportion: int = 46,
+        auction_duration_ms: int = 60_000,
+    ) -> None:
+        if events_per_second <= 0:
+            raise ValueError("events_per_second must be positive")
+        if min(person_proportion, auction_proportion, bid_proportion) < 1:
+            raise ValueError("all proportions must be >= 1")
+        self._rng = random.Random(seed)
+        self._events_per_second = events_per_second
+        self._proportions = (person_proportion, auction_proportion, bid_proportion)
+        self._cycle = sum(self._proportions)
+        self._auction_duration_ms = auction_duration_ms
+        self._next_person_id = FIRST_PERSON_ID
+        self._next_auction_id = FIRST_AUCTION_ID
+        self._emitted = 0
+        self._live_auctions: List[int] = []
+        self._known_persons: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _timestamp_ms(self) -> int:
+        return int(self._emitted * 1000.0 / self._events_per_second)
+
+    def _make_person(self) -> Person:
+        pid = self._next_person_id
+        self._next_person_id += 1
+        self._known_persons.append(pid)
+        return Person(
+            person_id=pid,
+            name=self._rng.choice(_NAMES),
+            city=self._rng.choice(_CITIES),
+            state=self._rng.choice(_STATES),
+            timestamp_ms=self._timestamp_ms(),
+        )
+
+    def _make_auction(self) -> Auction:
+        aid = self._next_auction_id
+        self._next_auction_id += 1
+        self._live_auctions.append(aid)
+        if len(self._live_auctions) > 500:
+            self._live_auctions.pop(0)
+        seller = (
+            self._rng.choice(self._known_persons)
+            if self._known_persons
+            else FIRST_PERSON_ID
+        )
+        ts = self._timestamp_ms()
+        return Auction(
+            auction_id=aid,
+            seller_id=seller,
+            category=self._rng.randrange(10),
+            initial_bid=self._rng.randrange(1, 1000),
+            expires_ms=ts + self._auction_duration_ms,
+            timestamp_ms=ts,
+        )
+
+    def _make_bid(self) -> Bid:
+        auction = (
+            self._rng.choice(self._live_auctions)
+            if self._live_auctions
+            else FIRST_AUCTION_ID
+        )
+        bidder = (
+            self._rng.choice(self._known_persons)
+            if self._known_persons
+            else FIRST_PERSON_ID
+        )
+        return Bid(
+            auction_id=auction,
+            bidder_id=bidder,
+            price=self._rng.randrange(1, 10_000),
+            timestamp_ms=self._timestamp_ms(),
+        )
+
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[Event]:
+        """Yield an unbounded, timestamp-ordered event stream."""
+        p, a, _b = self._proportions
+        while True:
+            slot = self._emitted % self._cycle
+            if slot < p:
+                yield ("person", self._make_person())
+            elif slot < p + a:
+                yield ("auction", self._make_auction())
+            else:
+                yield ("bid", self._make_bid())
+            self._emitted += 1
+
+    def take(self, count: int) -> List[Event]:
+        """Materialise the next ``count`` events."""
+        stream = self.events()
+        return [next(stream) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Reference query semantics (single-process, record level). These exist
+# to validate the selectivity constants used by the fluid model and to
+# power the record-level example application.
+# ----------------------------------------------------------------------
+
+def sliding_window_hot_items(
+    bids: Sequence[Bid], window_ms: int = 10_000, slide_ms: int = 2_000
+) -> List[Tuple[int, int, int]]:
+    """Nexmark Q5 semantics: the hottest auction per sliding window.
+
+    Returns one ``(window_end_ms, auction_id, bid_count)`` row per
+    window. This is the logical computation behind Q1-sliding.
+    """
+    if window_ms <= 0 or slide_ms <= 0:
+        raise ValueError("window and slide must be positive")
+    if not bids:
+        return []
+    max_ts = max(b.timestamp_ms for b in bids)
+    results: List[Tuple[int, int, int]] = []
+    window_end = window_ms
+    while window_end <= max_ts + slide_ms:
+        window_start = window_end - window_ms
+        counts: Dict[int, int] = {}
+        for bid in bids:
+            if window_start <= bid.timestamp_ms < window_end:
+                counts[bid.auction_id] = counts.get(bid.auction_id, 0) + 1
+        if counts:
+            hottest = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+            results.append((window_end, hottest[0], hottest[1]))
+        window_end += slide_ms
+    return results
+
+
+def tumbling_window_join(
+    persons: Sequence[Person],
+    auctions: Sequence[Auction],
+    window_ms: int = 10_000,
+) -> List[Tuple[int, int]]:
+    """Nexmark Q8 semantics: new persons who opened auctions in a window.
+
+    Returns ``(person_id, auction_id)`` pairs for persons and their
+    auctions that fall in the same tumbling window. This is the logical
+    computation behind Q2-join.
+    """
+    if window_ms <= 0:
+        raise ValueError("window must be positive")
+    results: List[Tuple[int, int]] = []
+    persons_by_window: Dict[int, Dict[int, Person]] = {}
+    for person in persons:
+        bucket = person.timestamp_ms // window_ms
+        persons_by_window.setdefault(bucket, {})[person.person_id] = person
+    for auction in auctions:
+        bucket = auction.timestamp_ms // window_ms
+        window_persons = persons_by_window.get(bucket, {})
+        if auction.seller_id in window_persons:
+            results.append((auction.seller_id, auction.auction_id))
+    return results
+
+
+def session_windows(
+    bids: Sequence[Bid], gap_ms: int = 5_000
+) -> List[Tuple[int, int, int, int]]:
+    """Nexmark Q11 semantics: per-bidder session windows of bid activity.
+
+    A session closes when a bidder is inactive for longer than ``gap_ms``.
+    Returns ``(bidder_id, session_start_ms, session_end_ms, bid_count)``
+    rows. This is the logical computation behind Q6-session.
+    """
+    if gap_ms <= 0:
+        raise ValueError("gap must be positive")
+    by_bidder: Dict[int, List[int]] = {}
+    for bid in sorted(bids, key=lambda b: b.timestamp_ms):
+        by_bidder.setdefault(bid.bidder_id, []).append(bid.timestamp_ms)
+    sessions: List[Tuple[int, int, int, int]] = []
+    for bidder, stamps in sorted(by_bidder.items()):
+        start = prev = stamps[0]
+        count = 1
+        for ts in stamps[1:]:
+            if ts - prev > gap_ms:
+                sessions.append((bidder, start, prev, count))
+                start = ts
+                count = 0
+            count += 1
+            prev = ts
+        sessions.append((bidder, start, prev, count))
+    return sessions
+
+
+def average_price_per_seller(
+    auctions: Sequence[Auction], bids: Sequence[Bid]
+) -> Dict[int, float]:
+    """Nexmark Q6 semantics: average winning-bid price per seller.
+
+    The winning bid of an auction is its highest bid. This is the logical
+    computation behind Q5-aggregate.
+    """
+    winning: Dict[int, int] = {}
+    for bid in bids:
+        if bid.auction_id not in winning or bid.price > winning[bid.auction_id]:
+            winning[bid.auction_id] = bid.price
+    totals: Dict[int, List[int]] = {}
+    for auction in auctions:
+        if auction.auction_id in winning:
+            totals.setdefault(auction.seller_id, []).append(
+                winning[auction.auction_id]
+            )
+    return {
+        seller: sum(prices) / len(prices) for seller, prices in sorted(totals.items())
+    }
+
+
+def empirical_selectivity(events: Sequence[Event], kind: str) -> float:
+    """Fraction of a mixed event stream that is of ``kind``.
+
+    Used by tests to confirm the generator respects its configured
+    proportions, which in turn justifies the selectivity constants of the
+    filter operators in :mod:`repro.workloads.queries`.
+    """
+    if not events:
+        raise ValueError("need at least one event")
+    matching = sum(1 for k, _ in events if k == kind)
+    return matching / len(events)

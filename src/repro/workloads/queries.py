@@ -1,0 +1,409 @@
+"""The six evaluation queries of the paper, as logical operator graphs.
+
+Each builder returns a :class:`~repro.dataflow.graph.LogicalGraph` whose
+per-record unit costs were chosen so that the query stresses the resource
+dimension the paper attributes to it (see DESIGN.md section 1). The unit
+costs play the role of the measurements CAPSys' profiling phase produces
+on real hardware (paper section 5.1); the profiler in
+:mod:`repro.controller.profiler` re-derives them empirically from the
+simulator rather than trusting these constants.
+
+Query lineage (paper section 6.1):
+
+==============  =======================  ==============================
+This package    Paper name               Origin
+==============  =======================  ==============================
+``q1_sliding``  Q1-sliding               Nexmark Q5 (hot items)
+``q2_join``     Q2-join                  Nexmark Q8 (monitor new users)
+``q3_inf``      Q3-inf                   Crayfish image inference
+``q4_join``     Q4-join                  Nexmark Q3 (local item sales)
+``q5_aggregate`` Q5-aggregate            Nexmark Q6 (avg price/seller)
+``q6_session``  Q6-session               Nexmark Q11 (user sessions)
+==============  =======================  ==============================
+
+Default parallelisms reproduce the motivation-study setting (4 r5d.xlarge
+workers with 4 slots each, paper section 3.1); the experiment harness
+overrides them with DS2 decisions where the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.dataflow.graph import GcSpikeProfile, LogicalGraph, OperatorSpec, Partitioning
+
+KB = 1024.0
+
+
+@dataclass(frozen=True)
+class QueryPreset:
+    """A query builder plus the experiment defaults that accompany it.
+
+    Attributes:
+        name: Paper name of the query (e.g. ``"Q1-sliding"``).
+        build: Zero-argument builder returning a fresh logical graph with
+            the motivation-study default parallelism.
+        target_rate: Default per-source target input rate (records/s)
+            calibrated so the query roughly saturates the motivation
+            cluster under a *good* placement, mirroring the paper's
+            methodology of raising the rate until saturation (sec. 3.1).
+        dominant_dimension: The resource dimension the paper identifies
+            as this query's contention driver (``"cpu"``, ``"io"`` or
+            ``"net"``); used by tests and by Figure 3 plan selection.
+    """
+
+    name: str
+    build: Callable[[], LogicalGraph]
+    target_rate: float
+    dominant_dimension: str
+    #: Per-source target rate for the section 6.2 isolation experiments
+    #: (4 x m5d.2xlarge, 32 slots), calibrated to ~90% of the query's
+    #: saturation rate under a good placement on that cluster.
+    isolation_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.isolation_rate == 0.0:
+            object.__setattr__(self, "isolation_rate", self.target_rate)
+
+
+# ----------------------------------------------------------------------
+# Q1-sliding: map -> sliding window (Nexmark Q5). Stateful, I/O-bound at
+# the window; network-light (the paper notes C_net is non-dominant).
+# ----------------------------------------------------------------------
+
+def q1_sliding(
+    source_parallelism: int = 2,
+    map_parallelism: int = 5,
+    window_parallelism: int = 8,
+) -> LogicalGraph:
+    """Q1-sliding: a simple stateful query (paper section 3.1).
+
+    A map operator followed by a sliding window. The sliding window
+    maintains overlapping panes in the state backend, so each input
+    record incurs a large read+write I/O cost; co-locating window tasks
+    contends on disk, which is the effect Figure 2 measures.
+    """
+    g = LogicalGraph("Q1-sliding")
+    g.add_operator(
+        OperatorSpec(
+            "source",
+            cpu_per_record=4.0e-6,
+            out_record_bytes=150.0,
+            selectivity=1.0,
+            is_source=True,
+        ),
+        parallelism=source_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "map",
+            cpu_per_record=3.0e-5,
+            out_record_bytes=150.0,
+            selectivity=1.0,
+        ),
+        parallelism=map_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "sliding_window",
+            cpu_per_record=1.8e-4,
+            io_bytes_per_record=80.0 * KB,
+            out_record_bytes=200.0,
+            selectivity=0.1,
+            state_bytes_per_record=2.0 * KB,
+        ),
+        parallelism=window_parallelism,
+    )
+    g.add_edge("source", "map", Partitioning.REBALANCE)
+    g.add_edge("map", "sliding_window", Partitioning.HASH)
+    g.validate()
+    return g
+
+
+# ----------------------------------------------------------------------
+# Q2-join: two sources -> two maps -> tumbling window join (Nexmark Q8).
+# The join buffers every record in RocksDB and scans on window trigger,
+# making it the most I/O-intensive operator (paper section 3.3).
+# ----------------------------------------------------------------------
+
+def q2_join(
+    source_parallelism: int = 1,
+    map_parallelism: int = 2,
+    join_parallelism: int = 8,
+) -> LogicalGraph:
+    """Q2-join: two-source tumbling window join accumulating large state."""
+    g = LogicalGraph("Q2-join")
+    for side in ("persons", "auctions"):
+        g.add_operator(
+            OperatorSpec(
+                f"source_{side}",
+                cpu_per_record=2.0e-6,
+                out_record_bytes=120.0,
+                selectivity=1.0,
+                is_source=True,
+            ),
+            parallelism=source_parallelism,
+        )
+        g.add_operator(
+            OperatorSpec(
+                f"map_{side}",
+                cpu_per_record=6.0e-6,
+                out_record_bytes=120.0,
+                selectivity=1.0,
+            ),
+            parallelism=map_parallelism,
+        )
+        g.add_edge(f"source_{side}", f"map_{side}", Partitioning.REBALANCE)
+    g.add_operator(
+        OperatorSpec(
+            "tumbling_join",
+            cpu_per_record=1.2e-5,
+            io_bytes_per_record=5.8 * KB,
+            out_record_bytes=180.0,
+            selectivity=0.2,
+            state_bytes_per_record=1.0 * KB,
+        ),
+        parallelism=join_parallelism,
+    )
+    g.add_edge("map_persons", "tumbling_join", Partitioning.HASH)
+    g.add_edge("map_auctions", "tumbling_join", Partitioning.HASH)
+    g.validate()
+    return g
+
+
+# ----------------------------------------------------------------------
+# Q3-inf: image decode -> model inference -> sink (Crayfish pipeline).
+# Compute-intensive at the inference operator (with periodic GC spikes)
+# and network-intensive because source and decode emit large image
+# records (paper sections 3.1 and 3.3).
+# ----------------------------------------------------------------------
+
+def q3_inf(
+    source_parallelism: int = 1,
+    decode_parallelism: int = 3,
+    inference_parallelism: int = 4,
+    sink_parallelism: int = 3,
+) -> LogicalGraph:
+    """Q3-inf: network- and compute-intensive image inference pipeline."""
+    g = LogicalGraph("Q3-inf")
+    g.add_operator(
+        OperatorSpec(
+            "source",
+            cpu_per_record=1.0e-5,
+            out_record_bytes=75.0 * KB,
+            selectivity=1.0,
+            is_source=True,
+        ),
+        parallelism=source_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "decode",
+            cpu_per_record=4.0e-4,
+            out_record_bytes=150.0 * KB,
+            selectivity=1.0,
+        ),
+        parallelism=decode_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "inference",
+            cpu_per_record=3.3e-3,
+            out_record_bytes=1.0 * KB,
+            selectivity=1.0,
+            gc_spike=GcSpikeProfile(period_s=30.0, duration_s=4.0, magnitude=0.5),
+        ),
+        parallelism=inference_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "sink",
+            cpu_per_record=2.0e-5,
+            out_record_bytes=0.0,
+            selectivity=0.0,
+        ),
+        parallelism=sink_parallelism,
+    )
+    g.add_edge("source", "decode", Partitioning.REBALANCE)
+    g.add_edge("decode", "inference", Partitioning.REBALANCE)
+    g.add_edge("inference", "sink", Partitioning.HASH)
+    g.validate()
+    return g
+
+
+# ----------------------------------------------------------------------
+# Q4-join: filters -> incremental join (Nexmark Q3).
+# ----------------------------------------------------------------------
+
+def q4_join(
+    source_parallelism: int = 1,
+    filter_parallelism: int = 2,
+    join_parallelism: int = 6,
+) -> LogicalGraph:
+    """Q4-join: incremental join over filtered person/auction streams."""
+    g = LogicalGraph("Q4-join")
+    for side, sel in (("persons", 0.4), ("auctions", 0.5)):
+        g.add_operator(
+            OperatorSpec(
+                f"source_{side}",
+                cpu_per_record=2.0e-6,
+                out_record_bytes=130.0,
+                selectivity=1.0,
+                is_source=True,
+            ),
+            parallelism=source_parallelism,
+        )
+        g.add_operator(
+            OperatorSpec(
+                f"filter_{side}",
+                cpu_per_record=8.0e-6,
+                out_record_bytes=130.0,
+                selectivity=sel,
+            ),
+            parallelism=filter_parallelism,
+        )
+        g.add_edge(f"source_{side}", f"filter_{side}", Partitioning.REBALANCE)
+    g.add_operator(
+        OperatorSpec(
+            "incremental_join",
+            cpu_per_record=2.5e-5,
+            io_bytes_per_record=5.0 * KB,
+            out_record_bytes=200.0,
+            selectivity=0.3,
+            state_bytes_per_record=600.0,
+        ),
+        parallelism=join_parallelism,
+    )
+    g.add_edge("filter_persons", "incremental_join", Partitioning.HASH)
+    g.add_edge("filter_auctions", "incremental_join", Partitioning.HASH)
+    g.validate()
+    return g
+
+
+# ----------------------------------------------------------------------
+# Q5-aggregate: join -> process-function aggregation (Nexmark Q6). The
+# paper's hardest query for the baselines: CAPS achieved up to 6x higher
+# throughput here (section 6.2.1), because both the join and the process
+# function are resource-hungry and a random placement easily piles them
+# onto the same workers.
+# ----------------------------------------------------------------------
+
+def q5_aggregate(
+    source_parallelism: int = 1,
+    join_parallelism: int = 6,
+    aggregate_parallelism: int = 6,
+) -> LogicalGraph:
+    """Q5-aggregate: stateful join feeding a process-function aggregation."""
+    g = LogicalGraph("Q5-aggregate")
+    for side in ("auctions", "bids"):
+        g.add_operator(
+            OperatorSpec(
+                f"source_{side}",
+                cpu_per_record=2.0e-6,
+                out_record_bytes=110.0,
+                selectivity=1.0,
+                is_source=True,
+            ),
+            parallelism=source_parallelism,
+        )
+    g.add_operator(
+        OperatorSpec(
+            "winning_bid_join",
+            cpu_per_record=2.0e-5,
+            io_bytes_per_record=6.0 * KB,
+            out_record_bytes=160.0,
+            selectivity=0.5,
+            state_bytes_per_record=800.0,
+        ),
+        parallelism=join_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "avg_price_process",
+            cpu_per_record=2.4e-4,
+            io_bytes_per_record=4.0 * KB,
+            out_record_bytes=140.0,
+            selectivity=0.2,
+            state_bytes_per_record=400.0,
+        ),
+        parallelism=aggregate_parallelism,
+    )
+    g.add_edge("source_auctions", "winning_bid_join", Partitioning.HASH)
+    g.add_edge("source_bids", "winning_bid_join", Partitioning.HASH)
+    g.add_edge("winning_bid_join", "avg_price_process", Partitioning.HASH)
+    g.validate()
+    return g
+
+
+# ----------------------------------------------------------------------
+# Q6-session: map -> session window (Nexmark Q11). Session windows hold
+# per-key sessions open until a gap timeout, accumulating large state.
+# ----------------------------------------------------------------------
+
+def q6_session(
+    source_parallelism: int = 1,
+    map_parallelism: int = 3,
+    window_parallelism: int = 8,
+) -> LogicalGraph:
+    """Q6-session: session-window query that accumulates large state."""
+    g = LogicalGraph("Q6-session")
+    g.add_operator(
+        OperatorSpec(
+            "source",
+            cpu_per_record=2.0e-6,
+            out_record_bytes=110.0,
+            selectivity=1.0,
+            is_source=True,
+        ),
+        parallelism=source_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "map",
+            cpu_per_record=7.0e-6,
+            out_record_bytes=110.0,
+            selectivity=1.0,
+        ),
+        parallelism=map_parallelism,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "session_window",
+            cpu_per_record=9.0e-5,
+            io_bytes_per_record=30.0 * KB,
+            out_record_bytes=170.0,
+            selectivity=0.05,
+            state_bytes_per_record=4.0 * KB,
+        ),
+        parallelism=window_parallelism,
+    )
+    g.add_edge("source", "map", Partitioning.REBALANCE)
+    g.add_edge("map", "session_window", Partitioning.HASH)
+    g.validate()
+    return g
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+ALL_QUERIES: List[QueryPreset] = [
+    QueryPreset("Q1-sliding", q1_sliding, target_rate=14_500.0, dominant_dimension="io", isolation_rate=19_000.0),
+    QueryPreset("Q2-join", q2_join, target_rate=55_000.0, dominant_dimension="io", isolation_rate=138_000.0),
+    QueryPreset("Q3-inf", q3_inf, target_rate=1_000.0, dominant_dimension="cpu", isolation_rate=3_600.0),
+    QueryPreset("Q4-join", q4_join, target_rate=40_000.0, dominant_dimension="io", isolation_rate=300_000.0),
+    QueryPreset("Q5-aggregate", q5_aggregate, target_rate=20_000.0, dominant_dimension="io", isolation_rate=48_000.0),
+    QueryPreset("Q6-session", q6_session, target_rate=9_000.0, dominant_dimension="io", isolation_rate=45_000.0),
+]
+
+_BY_NAME: Dict[str, QueryPreset] = {p.name: p for p in ALL_QUERIES}
+
+
+def query_by_name(name: str) -> QueryPreset:
+    """Look up a query preset by its paper name (e.g. ``"Q3-inf"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown query {name!r}; known queries: {known}") from None

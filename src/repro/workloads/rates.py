@@ -1,0 +1,190 @@
+"""Input-rate patterns for driving sources over time.
+
+The variable-workload experiments (paper section 6.4) use two patterns:
+a controlled step schedule that doubles then halves the target rate
+(Table 4), and a periodic high/low square wave (Figure 9). We also ship
+sine and ramp patterns used by the extension benchmarks.
+
+A pattern is a callable mapping simulated time (seconds) to a target
+input rate (records/second). Patterns are immutable and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+class RatePattern:
+    """Base class: target input rate as a function of simulated time."""
+
+    def rate_at(self, time_s: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, time_s: float) -> float:
+        rate = self.rate_at(time_s)
+        if rate < 0:
+            raise ValueError(f"rate pattern produced negative rate {rate}")
+        return rate
+
+    def max_rate(self, horizon_s: float, step_s: float = 1.0) -> float:
+        """Maximum rate over a horizon (used for capacity provisioning)."""
+        steps = max(1, int(horizon_s / step_s))
+        return max(self(i * step_s) for i in range(steps + 1))
+
+
+@dataclass(frozen=True)
+class ConstantRate(RatePattern):
+    """A fixed target rate, as in the isolation experiments (Fig. 7)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+
+    def rate_at(self, time_s: float) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class StepSchedule(RatePattern):
+    """Piecewise-constant schedule given as (start_time_s, rate) steps.
+
+    The Table 4 accuracy experiment uses an initial rate of 720 rec/s,
+    doubled twice and then halved twice, changing every 10 minutes:
+
+        >>> s = StepSchedule.doubling_then_halving(720.0, interval_s=600.0)
+        >>> [s(t) for t in (0, 600, 1200, 1800, 2400)]
+        [720.0, 1440.0, 2880.0, 1440.0, 720.0]
+    """
+
+    steps: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("schedule needs at least one step")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("schedule steps must be time-ordered")
+        if times[0] != 0.0:
+            raise ValueError("schedule must start at time 0")
+
+    @classmethod
+    def doubling_then_halving(
+        cls, initial_rate: float, interval_s: float = 600.0, repeats: int = 2
+    ) -> "StepSchedule":
+        """The paper's controlled schedule: x2 ``repeats`` times, then /2 back."""
+        steps: List[Tuple[float, float]] = [(0.0, initial_rate)]
+        rate = initial_rate
+        t = 0.0
+        for _ in range(repeats):
+            t += interval_s
+            rate *= 2.0
+            steps.append((t, rate))
+        for _ in range(repeats):
+            t += interval_s
+            rate /= 2.0
+            steps.append((t, rate))
+        return cls(tuple(steps))
+
+    def rate_at(self, time_s: float) -> float:
+        current = self.steps[0][1]
+        for start, rate in self.steps:
+            if time_s >= start:
+                current = rate
+            else:
+                break
+        return current
+
+    def change_times(self) -> List[float]:
+        """Times at which the target rate changes (excluding t=0)."""
+        return [t for t, _ in self.steps[1:]]
+
+
+@dataclass(frozen=True)
+class SquareWaveRate(RatePattern):
+    """Alternate between a high and a low rate every ``period_s`` seconds.
+
+    Figure 9 "periodically var[ies] the input rate between a high and a
+    low value every 20min"; ``SquareWaveRate(high, low, 1200.0)`` is that
+    pattern (starting high).
+    """
+
+    high: float
+    low: float
+    period_s: float
+    start_high: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.high < self.low:
+            raise ValueError("high rate must be >= low rate")
+
+    def rate_at(self, time_s: float) -> float:
+        phase = int(time_s // self.period_s) % 2
+        first, second = (self.high, self.low) if self.start_high else (self.low, self.high)
+        return first if phase == 0 else second
+
+
+@dataclass(frozen=True)
+class SineRate(RatePattern):
+    """Smooth diurnal-style oscillation around a mean rate."""
+
+    mean: float
+    amplitude: float
+    period_s: float
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.amplitude < 0 or self.amplitude > self.mean:
+            raise ValueError("amplitude must be within [0, mean]")
+
+    def rate_at(self, time_s: float) -> float:
+        return self.mean + self.amplitude * math.sin(2 * math.pi * time_s / self.period_s)
+
+
+@dataclass(frozen=True)
+class TimeShiftedRate(RatePattern):
+    """A pattern evaluated at ``time + offset_s``.
+
+    Simulation engines start their clocks at zero; when the controller
+    replaces an engine mid-experiment (a reconfiguration), it wraps the
+    experiment's pattern so the new engine continues where the previous
+    one stopped.
+    """
+
+    pattern: RatePattern
+    offset_s: float
+
+    def rate_at(self, time_s: float) -> float:
+        return self.pattern(time_s + self.offset_s)
+
+
+@dataclass(frozen=True)
+class RampRate(RatePattern):
+    """Linear ramp from ``start`` to ``end`` over ``duration_s``, then flat.
+
+    Used to find a query's saturation point, mirroring the paper's
+    methodology of "gradually increasing the input rate until it
+    saturates all workers" (section 3.1).
+    """
+
+    start: float
+    end: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.start < 0 or self.end < 0:
+            raise ValueError("rates must be non-negative")
+
+    def rate_at(self, time_s: float) -> float:
+        if time_s >= self.duration_s:
+            return self.end
+        frac = time_s / self.duration_s
+        return self.start + (self.end - self.start) * frac

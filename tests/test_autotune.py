@@ -1,0 +1,125 @@
+"""Unit tests for threshold auto-tuning (paper section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, WorkerSpec
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.autotune import AutoTuneResult, ThresholdAutoTuner, precompute_thresholds
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.core.search import CapsSearch, SearchLimits
+
+SPEC = WorkerSpec(cpu_capacity=4.0, disk_bandwidth=1e8, network_bandwidth=1e9, slots=4)
+
+
+def make_model(window_parallelism=4, workers=3):
+    g = LogicalGraph("g")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-5), 2)
+    g.add_operator(
+        OperatorSpec(
+            "win",
+            cpu_per_record=5e-4,
+            # heavy enough that the io dimension is performance-sensitive
+            # (worst-case co-location would oversubscribe one disk)
+            io_bytes_per_record=120_000.0,
+            out_record_bytes=100.0,
+            selectivity=0.1,
+        ),
+        window_parallelism,
+    )
+    g.add_edge("src", "win", Partitioning.HASH)
+    physical = PhysicalGraph.expand(g)
+    cluster = Cluster.homogeneous(SPEC, count=workers)
+    costs = TaskCosts.from_specs(physical, {("g", "src"): 2000.0})
+    return CostModel(physical, cluster, costs)
+
+
+class TestTune:
+    def test_result_is_feasible(self):
+        model = make_model()
+        result = ThresholdAutoTuner(model, timeout_s=10.0).tune()
+        assert not result.timed_out
+        search = CapsSearch(model, thresholds=result.thresholds)
+        assert search.run(SearchLimits(first_satisfying=True)).found
+
+    def test_phase1_minima_are_individually_feasible(self):
+        model = make_model()
+        result = ThresholdAutoTuner(model, timeout_s=10.0).tune()
+        for dim in ("cpu", "io"):
+            thresholds = {d: math.inf for d in ("cpu", "io", "net")}
+            thresholds[dim] = result.phase1_minima[dim]
+            search = CapsSearch(model, thresholds=thresholds)
+            assert search.run(SearchLimits(first_satisfying=True)).found, dim
+
+    def test_phase1_minimum_is_tight(self):
+        """Shrinking a phase-1 minimum by one relaxation step makes the
+        single-dimension problem infeasible (that's what minimal means)."""
+        model = make_model()
+        tuner = ThresholdAutoTuner(model, timeout_s=10.0)
+        result = tuner.tune()
+        alpha = result.phase1_minima["io"]
+        if alpha > tuner.initial_alpha:  # not feasible at the very first probe
+            tighter = alpha / tuner.relaxation_phase1 * 0.999
+            search = CapsSearch(
+                model, thresholds={"cpu": math.inf, "io": tighter, "net": math.inf}
+            )
+            assert not search.run(SearchLimits(first_satisfying=True)).found
+
+    def test_joint_thresholds_at_least_phase1_minima(self):
+        model = make_model()
+        result = ThresholdAutoTuner(model, timeout_s=10.0).tune()
+        for dim in ("cpu", "io", "net"):
+            assert result.thresholds[dim] >= result.phase1_minima[dim] - 1e-12
+
+    def test_insensitive_dimension_left_fully_relaxed(self):
+        model = make_model()
+        # the query's network load is tiny vs a 1 GB/s NIC
+        assert "net" in model.insensitive_dimensions()
+        result = ThresholdAutoTuner(model, timeout_s=10.0).tune()
+        assert result.thresholds["net"] == 1.0
+
+    def test_timeout_flag(self):
+        model = make_model(window_parallelism=6, workers=4)
+        result = ThresholdAutoTuner(
+            model, timeout_s=1e-9, search_timeout_s=1e-9
+        ).tune()
+        assert result.timed_out
+
+    def test_single_worker_is_trivially_feasible(self):
+        g = LogicalGraph("g")
+        g.add_operator(OperatorSpec("s", is_source=True, cpu_per_record=1e-4), 2)
+        physical = PhysicalGraph.expand(g)
+        cluster = Cluster.homogeneous(SPEC, count=1)
+        costs = TaskCosts.from_specs(physical, {("g", "s"): 100.0})
+        model = CostModel(physical, cluster, costs)
+        result = ThresholdAutoTuner(model, timeout_s=5.0).tune()
+        assert result.feasible
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            ThresholdAutoTuner(model, relaxation_phase1=1.0)
+        with pytest.raises(ValueError):
+            ThresholdAutoTuner(model, relaxation_phase2=0.9)
+        with pytest.raises(ValueError):
+            ThresholdAutoTuner(model, initial_alpha=0.0)
+        with pytest.raises(ValueError):
+            ThresholdAutoTuner(model, timeout_s=0.0)
+
+
+class TestPrecompute:
+    def test_precompute_covers_scenarios(self):
+        """Offline precomputation over scaling scenarios (section 5.2)."""
+        scenarios = [
+            ("win=3", make_model(window_parallelism=3)),
+            ("win=4", make_model(window_parallelism=4)),
+        ]
+        results = precompute_thresholds(scenarios, timeout_s=10.0)
+        assert set(results) == {"win=3", "win=4"}
+        for label, result in results.items():
+            assert isinstance(result, AutoTuneResult)
+            assert result.feasible

@@ -1,0 +1,188 @@
+"""Integration tests for the CAPSys adaptive controller."""
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, R5D_XLARGE, WorkerSpec
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.controller.capsys import (
+    CAPSysController,
+    ControllerConfig,
+    operator_rates_from_unit_costs,
+)
+from repro.controller.events import AdaptiveRunResult, RescaleEvent, TimelineSample
+from repro.placement import FlinkDefaultStrategy
+from repro.workloads import q3_inf
+from repro.workloads.rates import SquareWaveRate, StepSchedule
+
+CLUSTER = Cluster.homogeneous(R5D_XLARGE.with_slots(8), count=6)
+FAST = ControllerConfig(
+    policy_interval_s=5.0,
+    activation_time_s=60.0,
+    rescale_downtime_s=5.0,
+    profiling_duration_s=90.0,
+)
+
+
+def tiny_query():
+    g = LogicalGraph("tiny")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-6), 1)
+    g.add_operator(
+        OperatorSpec("work", cpu_per_record=1e-3, out_record_bytes=100.0), 1
+    )
+    g.add_edge("src", "work", Partitioning.REBALANCE)
+    return g
+
+
+class TestProfileAndBootstrap:
+    def test_profile_is_cached(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        first = ctl.profile()
+        second = ctl.profile()
+        assert first == second
+
+    def test_initial_parallelism_scales_with_rate(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        low = ctl.initial_parallelism({"src": 500.0})
+        high = ctl.initial_parallelism({"src": 2000.0})
+        assert high["work"] > low["work"]
+
+    def test_minimal_oracle_matches_uncontended_rate(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        rates = operator_rates_from_unit_costs(tiny_query(), ctl.profile(), CLUSTER)
+        # work: cpu 1e-3 + 100 B emission -> ~1000 rec/s per task
+        assert rates[("tiny", "work")].true_rate_per_task == pytest.approx(
+            1000.0, rel=0.05
+        )
+
+
+class TestDeploy:
+    def test_deploy_reaches_target(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        dep = ctl.deploy({"src": 3000.0})
+        summary = dep.engine.run(120, warmup_s=60).only
+        assert summary.meets_target()
+
+    def test_deploy_with_explicit_parallelism(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        dep = ctl.deploy({"src": 500.0}, parallelism={"src": 1, "work": 2})
+        assert dep.parallelism == {"src": 1, "work": 2}
+
+    def test_baseline_strategy_reseeded_per_placement(self):
+        strategy = FlinkDefaultStrategy()
+        ctl = CAPSysController(tiny_query(), CLUSTER, strategy=strategy, config=FAST)
+        ctl.deploy({"src": 3000.0})
+        seed1 = strategy.seed
+        ctl.deploy({"src": 3000.0})
+        seed2 = strategy.seed
+        # seeds advance between placements (reproducibly from config.seed)
+        assert seed1 is not None and seed2 is not None and seed1 != seed2
+
+
+class TestAdaptiveLoop:
+    def test_caps_converges_one_rescale_per_change(self):
+        g = q3_inf()
+        ctl = CAPSysController(g, CLUSTER, strategy="caps", config=FAST)
+        pattern = SquareWaveRate(high=1400.0, low=700.0, period_s=400.0)
+        result = ctl.run_adaptive(
+            {"source": pattern},
+            duration_s=1200.0,
+            initial_parallelism={op: 1 for op in g.operators},
+        )
+        # one initial scale-up + one per rate change (t=400, t=800)
+        assert 3 <= result.rescale_count() <= 4
+        # after settling in the second high phase, throughput meets target
+        window = result.samples_between(900.0, 1150.0)
+        achieved = sum(s.throughput for s in window) / len(window)
+        assert achieved >= 1400.0 * 0.9
+
+    def test_samples_cover_timeline_monotonically(self):
+        g = tiny_query()
+        ctl = CAPSysController(g, CLUSTER, config=FAST)
+        result = ctl.run_adaptive(
+            {"src": SquareWaveRate(high=2000.0, low=500.0, period_s=300.0)},
+            duration_s=700.0,
+            initial_parallelism={"src": 1, "work": 1},
+        )
+        times = [s.time_s for s in result.samples]
+        assert times == sorted(times)
+        assert times[-1] <= 700.0 + 1e-6
+
+    def test_downtime_recorded_as_zero_throughput(self):
+        g = tiny_query()
+        ctl = CAPSysController(g, CLUSTER, config=FAST)
+        result = ctl.run_adaptive(
+            {"src": SquareWaveRate(high=3000.0, low=500.0, period_s=300.0)},
+            duration_s=650.0,
+            initial_parallelism={"src": 1, "work": 1},
+        )
+        assert result.events, "expected at least one rescale"
+        first = result.events[0]
+        downtime = [
+            s
+            for s in result.samples
+            if first.time_s < s.time_s <= first.time_s + FAST.rescale_downtime_s
+        ]
+        assert downtime
+        assert all(s.throughput == 0.0 for s in downtime)
+
+
+class TestControlledSteps:
+    def test_caps_meets_all_steps(self):
+        g = q3_inf()
+        ctl = CAPSysController(g, CLUSTER, strategy="caps", config=FAST)
+        outcomes = ctl.run_controlled_steps(
+            {"source": 700.0},
+            [{"source": 1400.0}, {"source": 700.0}],
+            settle_s=90.0,
+            measure_s=120.0,
+        )
+        assert len(outcomes) == 2
+        for o in outcomes:
+            assert o.meets_throughput
+            assert not o.over_provisioned
+
+    def test_step_outcome_fields(self):
+        g = tiny_query()
+        ctl = CAPSysController(g, CLUSTER, config=FAST)
+        outcomes = ctl.run_controlled_steps(
+            {"src": 1000.0}, [{"src": 2000.0}], settle_s=80.0, measure_s=100.0
+        )
+        o = outcomes[0]
+        assert o.step == 1
+        assert o.target_rate == pytest.approx(2000.0, rel=0.01)
+        assert o.total_tasks >= o.minimal_tasks or not o.over_provisioned
+
+
+class TestEvents:
+    def test_rescale_event_delta(self):
+        e = RescaleEvent(
+            time_s=10.0,
+            old_parallelism={"a": 1, "b": 1},
+            new_parallelism={"a": 2, "b": 3},
+        )
+        assert e.delta_tasks == 3
+
+    def test_result_window_helpers(self):
+        result = AdaptiveRunResult(
+            samples=[
+                TimelineSample(1.0, 100.0, 90.0, 0.1, 1.0, 4),
+                TimelineSample(2.0, 100.0, 110.0, 0.0, 1.0, 6),
+            ]
+        )
+        assert result.mean_throughput(0.0, 3.0) == pytest.approx(100.0)
+        assert result.mean_backpressure(0.0, 1.5) == pytest.approx(0.1)
+        assert result.max_tasks(0.0, 3.0) == 6
+        assert result.mean_throughput(5.0, 6.0) == 0.0
+
+
+class TestConfigValidation:
+    def test_controller_config_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(policy_interval_s=0.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(activation_time_s=-1.0)
+
+    def test_unknown_strategy_string_rejected(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, strategy="bogus", config=FAST)
+        with pytest.raises(ValueError):
+            ctl.deploy({"src": 100.0})

@@ -1,0 +1,62 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_place_defaults(self):
+        args = build_parser().parse_args(["place", "Q1-sliding"])
+        args2 = build_parser().parse_args(
+            ["place", "Q1-sliding", "--strategy", "evenly", "--workers", "6"]
+        )
+        assert args.strategy == "caps"
+        assert args2.strategy == "evenly"
+        assert args2.workers == 6
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["place", "Q1", "--strategy", "bogus"])
+
+
+class TestCommands:
+    def test_queries_lists_all(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Q1-sliding", "Q6-session"):
+            assert name in out
+
+    def test_place_caps_meets_target(self, capsys):
+        code = main(
+            [
+                "place", "Q1-sliding",
+                "--instance", "r5d", "--workers", "4", "--slots", "4",
+                "--rate", "10000", "--duration", "240",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallelism" in out
+        assert "throughput" in out
+
+    def test_explore_small_space(self, capsys):
+        code = main(
+            [
+                "explore", "Q1-sliding",
+                "--instance", "r5d", "--workers", "4", "--slots", "4",
+                "--limit", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "80 distinct plans" in out
+        assert "meeting target" in out
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            main(["place", "Q99-nope"])

@@ -1,0 +1,76 @@
+"""Unit tests for the contention primitives."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.contention import (
+    ContentionConfig,
+    effective_throughput,
+    proportional_scale,
+    thread_oversubscription_penalty,
+)
+
+
+class TestProportionalScale:
+    def test_under_capacity_grants_everything(self):
+        scale = proportional_scale(np.array([5.0, 0.0]), np.array([10.0, 10.0]))
+        assert scale[0] == 1.0
+        assert scale[1] == 1.0
+
+    def test_over_capacity_is_work_conserving(self):
+        demand = np.array([20.0])
+        scale = proportional_scale(demand, np.array([10.0]))
+        assert demand[0] * scale[0] == pytest.approx(10.0)
+
+    def test_scale_independent_of_backlog_magnitude(self):
+        """A key stability property: completed work saturates at
+        capacity no matter how large the demand grows."""
+        for demand in (15.0, 150.0, 1.5e6):
+            assert effective_throughput(demand, 10.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            proportional_scale(np.array([1.0]), np.array([0.0]))
+
+
+class TestThreadPenalty:
+    def test_no_penalty_when_threads_fit(self):
+        penalty = thread_oversubscription_penalty(
+            np.array([2.0, 4.0]), np.array([4.0, 4.0]), coeff=0.5
+        )
+        assert penalty[0] == 1.0
+        assert penalty[1] == 1.0
+
+    def test_penalty_grows_with_oversubscription(self):
+        p1 = thread_oversubscription_penalty(np.array([6.0]), np.array([4.0]), 0.5)
+        p2 = thread_oversubscription_penalty(np.array([8.0]), np.array([4.0]), 0.5)
+        assert 1.0 < p1[0] < p2[0]
+
+    def test_penalty_formula(self):
+        p = thread_oversubscription_penalty(np.array([6.0]), np.array([4.0]), 0.4)
+        # 1 + 0.4 * (6-4)/4
+        assert p[0] == pytest.approx(1.2)
+
+    def test_penalised_throughput_below_capacity(self):
+        assert effective_throughput(100.0, 10.0, penalty=1.25) == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            effective_throughput(10.0, 10.0, penalty=0.9)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            thread_oversubscription_penalty(np.array([1.0]), np.array([0.0]), 0.5)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ContentionConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionConfig(cpu_thread_penalty=-0.1)
+        with pytest.raises(ValueError):
+            ContentionConfig(gamma_compaction=-0.1)
+        with pytest.raises(ValueError):
+            ContentionConfig(cpu_active_share=0.0)
+        with pytest.raises(ValueError):
+            ContentionConfig(heavy_writer_share=1.5)

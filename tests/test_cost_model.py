@@ -1,0 +1,294 @@
+"""Unit tests for the CAPS cost model (paper Eq. 4-8), with hand-computed
+reference values."""
+
+import math
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, R5D_XLARGE, WorkerSpec
+from repro.dataflow.graph import GcSpikeProfile, LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import (
+    CostModel,
+    CostVector,
+    TaskCosts,
+    UnitCosts,
+    propagate_rates,
+)
+from repro.core.plan import PlacementPlan
+
+
+def two_op_setup():
+    """src(p=1) -> op(p=2) on 2 workers x 2 slots, src rate 100 rec/s.
+
+    Hand-computed utilisations:
+      src: U_cpu=0.1, U_io=0, U_net=10_000 B/s
+      op(each): U_cpu=0.1, U_io=50_000 B/s, U_net=5_000 B/s
+    """
+    g = LogicalGraph("g")
+    g.add_operator(
+        OperatorSpec("src", is_source=True, cpu_per_record=1e-3, out_record_bytes=100.0),
+        parallelism=1,
+    )
+    g.add_operator(
+        OperatorSpec(
+            "op",
+            cpu_per_record=2e-3,
+            io_bytes_per_record=1000.0,
+            out_record_bytes=200.0,
+            selectivity=0.5,
+        ),
+        parallelism=2,
+    )
+    g.add_edge("src", "op", Partitioning.HASH)
+    physical = PhysicalGraph.expand(g)
+    spec = WorkerSpec(
+        cpu_capacity=2.0, disk_bandwidth=1e8, network_bandwidth=1e9, slots=2
+    )
+    cluster = Cluster.homogeneous(spec, count=2)
+    costs = TaskCosts.from_specs(physical, {("g", "src"): 100.0})
+    return g, physical, cluster, costs
+
+
+class TestUnitCosts:
+    def test_from_spec_without_gc(self):
+        spec = OperatorSpec(
+            "op", cpu_per_record=1e-3, io_bytes_per_record=10.0,
+            out_record_bytes=100.0, selectivity=0.5,
+        )
+        uc = UnitCosts.from_spec(spec)
+        assert uc.cpu_per_record == pytest.approx(1e-3)
+        assert uc.io_bytes_per_record == pytest.approx(10.0)
+        # net cost is per *output* record
+        assert uc.net_bytes_per_record == pytest.approx(100.0)
+        assert uc.selectivity == pytest.approx(0.5)
+
+    def test_from_spec_folds_average_gc_overhead(self):
+        spec = OperatorSpec(
+            "op",
+            cpu_per_record=1e-3,
+            gc_spike=GcSpikeProfile(period_s=30.0, duration_s=6.0, magnitude=0.5),
+        )
+        uc = UnitCosts.from_spec(spec)
+        # average overhead = magnitude * duty cycle = 0.5 * 0.2 = 0.1
+        assert uc.cpu_per_record == pytest.approx(1.1e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UnitCosts(-1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            UnitCosts(0.0, 0.0, math.inf, 1.0)
+
+
+class TestPropagateRates:
+    def test_linear_chain(self):
+        _, physical, _, _ = two_op_setup()
+        rates = propagate_rates(physical, {("g", "src"): 100.0})
+        assert rates["g/src[0]"] == pytest.approx(100.0)
+        assert rates["g/op[0]"] == pytest.approx(50.0)
+        assert rates["g/op[1]"] == pytest.approx(50.0)
+
+    def test_selectivity_scales_downstream(self):
+        g = LogicalGraph("g")
+        g.add_operator(OperatorSpec("s", is_source=True), parallelism=1)
+        g.add_operator(OperatorSpec("f", selectivity=0.25), parallelism=1)
+        g.add_operator(OperatorSpec("k"), parallelism=2)
+        g.add_edge("s", "f")
+        g.add_edge("f", "k")
+        physical = PhysicalGraph.expand(g)
+        rates = propagate_rates(physical, {("g", "s"): 400.0})
+        assert rates["g/f[0]"] == pytest.approx(400.0)
+        assert rates["g/k[0]"] == pytest.approx(50.0)  # 400*0.25/2
+
+    def test_fan_in_sums(self):
+        g = LogicalGraph("g")
+        g.add_operator(OperatorSpec("a", is_source=True), parallelism=1)
+        g.add_operator(OperatorSpec("b", is_source=True), parallelism=1)
+        g.add_operator(OperatorSpec("j"), parallelism=1)
+        g.add_edge("a", "j")
+        g.add_edge("b", "j")
+        physical = PhysicalGraph.expand(g)
+        rates = propagate_rates(physical, {("g", "a"): 30.0, ("g", "b"): 70.0})
+        assert rates["g/j[0]"] == pytest.approx(100.0)
+
+    def test_sources_split_rate_across_tasks(self):
+        g = LogicalGraph("g")
+        g.add_operator(OperatorSpec("s", is_source=True), parallelism=4)
+        physical = PhysicalGraph.expand(g)
+        rates = propagate_rates(physical, {("g", "s"): 100.0})
+        for i in range(4):
+            assert rates[f"g/s[{i}]"] == pytest.approx(25.0)
+
+    def test_missing_source_rate_raises(self):
+        _, physical, _, _ = two_op_setup()
+        with pytest.raises(KeyError):
+            propagate_rates(physical, {})
+
+    def test_selectivity_override(self):
+        _, physical, _, _ = two_op_setup()
+        rates = propagate_rates(
+            physical, {("g", "src"): 100.0}, selectivities={("g", "src"): 2.0}
+        )
+        assert rates["g/op[0]"] == pytest.approx(100.0)
+
+
+class TestTaskCosts:
+    def test_hand_computed_utilisations(self):
+        _, physical, _, costs = two_op_setup()
+        assert costs.u_cpu["g/src[0]"] == pytest.approx(0.1)
+        assert costs.u_net["g/src[0]"] == pytest.approx(10_000.0)
+        assert costs.u_cpu["g/op[0]"] == pytest.approx(0.1)
+        assert costs.u_io["g/op[0]"] == pytest.approx(50_000.0)
+        assert costs.u_net["g/op[0]"] == pytest.approx(5_000.0)
+
+    def test_operator_totals(self):
+        _, physical, _, costs = two_op_setup()
+        totals = costs.operator_totals("io")
+        assert totals[("g", "op")] == pytest.approx(100_000.0)
+        assert totals[("g", "src")] == pytest.approx(0.0)
+
+    def test_missing_unit_costs_raise(self):
+        _, physical, _, _ = two_op_setup()
+        with pytest.raises(KeyError):
+            TaskCosts.from_unit_costs(physical, {}, {("g", "src"): 100.0})
+
+
+class TestCostVector:
+    def test_dominates(self):
+        a = CostVector(0.1, 0.1, 0.1)
+        b = CostVector(0.2, 0.1, 0.1)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_incomparable(self):
+        a = CostVector(0.1, 0.5, 0.1)
+        b = CostVector(0.5, 0.1, 0.1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_within(self):
+        assert CostVector(0.1, 0.2, 0.3).within(CostVector(0.1, 0.2, 0.3))
+        assert not CostVector(0.4, 0.2, 0.3).within(CostVector(0.1, 1.0, 1.0))
+
+    def test_weighted_total(self):
+        c = CostVector(0.5, 0.25, 1.0)
+        assert c.total() == pytest.approx(1.75)
+        assert c.weighted_total({"cpu": 1.0, "io": 0.0, "net": 0.0}) == pytest.approx(0.5)
+        assert c.weighted_total(None) == pytest.approx(c.total())
+
+    def test_getitem(self):
+        c = CostVector(0.1, 0.2, 0.3)
+        assert c["cpu"] == 0.1
+        with pytest.raises(KeyError):
+            c["disk"]
+
+
+class TestCostModelEquations:
+    def test_l_min_and_l_max(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        # total cpu = 0.3 over 2 workers (Eq. 6)
+        assert model.l_min("cpu") == pytest.approx(0.15)
+        # top-2 cpu tasks co-located (Eq. 7): 0.1 + 0.1
+        assert model.l_max("cpu") == pytest.approx(0.2)
+        assert model.l_min("io") == pytest.approx(50_000.0)
+        assert model.l_max("io") == pytest.approx(100_000.0)
+        # network approximations: min 0, max = top-2 output rates
+        assert model.l_min("net") == 0.0
+        assert model.l_max("net") == pytest.approx(15_000.0)
+
+    def test_colocated_plan_cost(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        plan = PlacementPlan(
+            {"g/src[0]": 0, "g/op[0]": 0, "g/op[1]": 1}
+        )
+        cost = model.cost(plan)
+        # cpu: worker0 load 0.2 = L_max -> cost 1
+        assert cost.cpu == pytest.approx(1.0)
+        # io: both workers at 50k = L_min -> cost 0
+        assert cost.io == pytest.approx(0.0)
+        # net: src has 1 remote link of 2 -> 5000; C = 5000/15000
+        assert cost.net == pytest.approx(1.0 / 3.0)
+
+    def test_spread_plan_cost(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        plan = PlacementPlan({"g/src[0]": 0, "g/op[0]": 1, "g/op[1]": 1})
+        cost = model.cost(plan)
+        # cpu: worker1 carries 0.2 again (both op tasks)
+        assert cost.cpu == pytest.approx(1.0)
+        # io: worker1 carries all io -> worst case
+        assert cost.io == pytest.approx(1.0)
+        # net: both src links remote -> full 10_000 on worker0
+        assert cost.net == pytest.approx(10_000.0 / 15_000.0)
+
+    def test_network_load_only_counts_cross_links(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        all_on_one = PlacementPlan({t.uid: 0 for t in physical.tasks})
+        # requires 3 slots; use a bigger worker for this check only
+        big = Cluster.homogeneous(
+            WorkerSpec(cpu_capacity=2, disk_bandwidth=1e8, network_bandwidth=1e9, slots=4),
+            count=2,
+        )
+        model = CostModel(physical, big, costs)
+        assert model.load(all_on_one, "net") == pytest.approx(0.0)
+
+    def test_degenerate_dimension_costs_zero(self):
+        # single worker: every plan equivalent -> L_max == L_min -> cost 0
+        _, physical, _, costs = two_op_setup()
+        single = Cluster.homogeneous(
+            WorkerSpec(cpu_capacity=2, disk_bandwidth=1e8, network_bandwidth=1e9, slots=4),
+            count=1,
+        )
+        model = CostModel(physical, single, costs)
+        plan = PlacementPlan({t.uid: 0 for t in physical.tasks})
+        cost = model.cost(plan)
+        assert cost.cpu == 0.0
+        assert cost.io == 0.0
+
+    def test_load_bound_eq10(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        assert model.load_bound("cpu", 0.0) == pytest.approx(model.l_min("cpu"))
+        assert model.load_bound("cpu", 1.0) == pytest.approx(model.l_max("cpu"))
+        half = model.load_bound("cpu", 0.5)
+        assert half == pytest.approx(0.175)
+        assert model.load_bound("cpu", math.inf) == math.inf
+        with pytest.raises(ValueError):
+            model.load_bound("cpu", -0.1)
+
+    def test_cost_from_loads_matches_cost(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        plan = PlacementPlan({"g/src[0]": 0, "g/op[0]": 0, "g/op[1]": 1})
+        loads = {dim: model.load(plan, dim) for dim in ("cpu", "io", "net")}
+        assert model.cost_from_loads(loads) == model.cost(plan)
+
+
+class TestDimensionSensitivity:
+    def test_insensitive_when_lmax_below_capacity(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        # net L_max = 15 kB/s vs 1 GB/s NIC -> deeply insensitive.
+        assert "net" in model.insensitive_dimensions()
+        assert model.dimension_sensitivity("net") < 1e-3
+
+    def test_sensitive_dimension_detected(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        # io L_max = 100 kB/s vs 100 MB/s disk: insensitive too; shrink disk.
+        small_disk = WorkerSpec(
+            cpu_capacity=2.0, disk_bandwidth=80_000.0, network_bandwidth=1e9, slots=2
+        )
+        cluster2 = Cluster.homogeneous(small_disk, count=2)
+        model2 = CostModel(physical, cluster2, costs)
+        assert "io" not in model2.insensitive_dimensions()
+
+    def test_kappa_validation(self):
+        _, physical, cluster, costs = two_op_setup()
+        model = CostModel(physical, cluster, costs)
+        with pytest.raises(ValueError):
+            model.insensitive_dimensions(kappa=0.0)

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the fluid engine's invariants.
+
+Random small pipelines and placements are generated; the engine must
+conserve mass (nothing processed that never arrived), respect queue
+bounds, keep every reported metric finite and within range, and stay
+deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.cluster import Cluster, WorkerSpec
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.plan import PlacementPlan
+from repro.simulator.engine import FluidSimulation
+
+
+@st.composite
+def simulations(draw):
+    n_ops = draw(st.integers(min_value=2, max_value=4))
+    g = LogicalGraph("job")
+    prev = None
+    for i in range(n_ops):
+        g.add_operator(
+            OperatorSpec(
+                f"op{i}",
+                cpu_per_record=draw(st.sampled_from([1e-6, 1e-4, 1e-3])),
+                io_bytes_per_record=draw(st.sampled_from([0.0, 5_000.0, 40_000.0])),
+                out_record_bytes=draw(st.sampled_from([100.0, 10_000.0])),
+                selectivity=draw(st.sampled_from([0.2, 1.0, 1.5])),
+                is_source=(i == 0),
+            ),
+            parallelism=draw(st.integers(min_value=1, max_value=3)),
+        )
+        if prev is not None:
+            g.add_edge(
+                prev,
+                f"op{i}",
+                draw(st.sampled_from([Partitioning.HASH, Partitioning.REBALANCE])),
+            )
+        prev = f"op{i}"
+    physical = PhysicalGraph.expand(g)
+    workers = draw(st.integers(min_value=1, max_value=3))
+    slots = -(-len(physical.tasks) // workers) + draw(st.integers(0, 2))
+    spec = WorkerSpec(
+        cpu_capacity=draw(st.sampled_from([2.0, 4.0])),
+        disk_bandwidth=draw(st.sampled_from([5e7, 2e8])),
+        network_bandwidth=draw(st.sampled_from([1.25e8, 1.25e9])),
+        slots=slots,
+    )
+    cluster = Cluster.homogeneous(spec, count=workers)
+    seed = draw(st.integers(0, 100))
+    rng = np.random.default_rng(seed)
+    worker_ids = []
+    free = {w.worker_id: w.slots for w in cluster.workers}
+    for _ in physical.tasks:
+        candidates = [w for w, f in free.items() if f > 0]
+        w = int(rng.choice(candidates))
+        free[w] -= 1
+        worker_ids.append(w)
+    plan = PlacementPlan({t.uid: w for t, w in zip(physical.tasks, worker_ids)})
+    rate = draw(st.sampled_from([10.0, 500.0, 20_000.0]))
+    return physical, cluster, plan, rate
+
+
+@settings(max_examples=25, deadline=None)
+@given(simulations())
+def test_invariants_hold_over_time(sim_setup):
+    physical, cluster, plan, rate = sim_setup
+    sim = FluidSimulation(physical, cluster, plan, {("job", "op0"): rate})
+    for _ in range(60):
+        sim.step()
+        # queues non-negative and within (softly bounded) capacity
+        assert np.all(sim.queue >= -1e-9)
+        finite = np.isfinite(sim.queue_cap)
+        assert np.all(sim.queue[finite] <= sim.queue_cap[finite] * 2.0 + 1.0)
+    summary = sim.metrics.summarize(warmup_s=30.0)
+    job = summary.only
+    assert 0.0 <= job.backpressure <= 1.0
+    assert job.throughput >= 0.0
+    assert job.throughput <= rate * 1.001
+    assert np.isfinite(job.latency_s)
+    rates = sim.metrics.task_rates()
+    for tr in rates.values():
+        assert tr.observed_rate >= 0.0
+        assert tr.true_rate > 0.0
+        assert 0.0 <= tr.busy_fraction <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(simulations())
+def test_determinism(sim_setup):
+    physical, cluster, plan, rate = sim_setup
+    def run():
+        sim = FluidSimulation(physical, cluster, plan, {("job", "op0"): rate})
+        for _ in range(40):
+            sim.step()
+        return sim.metrics.summarize().only
+    a, b = run(), run()
+    assert a.throughput == b.throughput
+    assert a.backpressure == b.backpressure
+    assert a.latency_s == b.latency_s
+
+
+@settings(max_examples=15, deadline=None)
+@given(simulations())
+def test_mass_conservation_at_source(sim_setup):
+    """Total records admitted never exceed the target offered."""
+    physical, cluster, plan, rate = sim_setup
+    sim = FluidSimulation(physical, cluster, plan, {("job", "op0"): rate})
+    ticks = 50
+    for _ in range(ticks):
+        sim.step()
+    series = sim.metrics.job_series("job")
+    admitted = sum(s.throughput for s in series) * sim.config.dt
+    offered = rate * ticks * sim.config.dt
+    assert admitted <= offered * 1.001

@@ -1,0 +1,93 @@
+"""Unit tests for the greedy balanced placement warm start."""
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, WorkerSpec
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.core.greedy import greedy_balanced_plan, greedy_threshold_seed
+from repro.core.search import CapsSearch, SearchLimits
+
+SPEC = WorkerSpec(cpu_capacity=4.0, disk_bandwidth=1e8, network_bandwidth=1e9, slots=4)
+
+
+def make_model(heavy_parallelism=4, workers=4):
+    g = LogicalGraph("g")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-6), 2)
+    g.add_operator(
+        OperatorSpec("heavy", cpu_per_record=1e-3, io_bytes_per_record=30_000.0),
+        heavy_parallelism,
+    )
+    g.add_edge("src", "heavy", Partitioning.HASH)
+    physical = PhysicalGraph.expand(g)
+    cluster = Cluster.homogeneous(SPEC, count=workers)
+    costs = TaskCosts.from_specs(physical, {("g", "src"): 1000.0})
+    return physical, cluster, CostModel(physical, cluster, costs)
+
+
+class TestGreedyPlan:
+    def test_plan_is_valid(self):
+        physical, cluster, model = make_model()
+        plan = greedy_balanced_plan(model)
+        plan.validate(physical, cluster)
+
+    def test_heavy_tasks_are_spread(self):
+        physical, cluster, model = make_model(heavy_parallelism=4, workers=4)
+        plan = greedy_balanced_plan(model)
+        heavy_workers = {
+            plan.worker_of(t) for t in physical.operator_tasks("g", "heavy")
+        }
+        assert len(heavy_workers) == 4
+
+    def test_balanced_cost_on_sensitive_dimensions(self):
+        physical, cluster, model = make_model(heavy_parallelism=8, workers=4)
+        cost = model.cost(greedy_balanced_plan(model))
+        # 8 identical heavy tasks on 4 workers: 2 each is perfectly balanced.
+        assert cost.cpu < 0.2
+        assert cost.io < 0.2
+
+    def test_deterministic(self):
+        _, _, model = make_model()
+        assert greedy_balanced_plan(model) == greedy_balanced_plan(model)
+
+    def test_fills_up_exactly_full_cluster(self):
+        physical, cluster, model = make_model(heavy_parallelism=14, workers=4)
+        # 16 tasks on 16 slots
+        plan = greedy_balanced_plan(model)
+        plan.validate(physical, cluster)
+        assert all(count <= 4 for count in plan.slot_usage().values())
+
+
+class TestThresholdSeed:
+    def test_seed_is_feasible(self):
+        _, _, model = make_model()
+        seed = greedy_threshold_seed(model)
+        search = CapsSearch(model, thresholds=seed)
+        assert search.run(SearchLimits(first_satisfying=True)).found
+
+    def test_seed_bounded_by_one(self):
+        _, _, model = make_model()
+        seed = greedy_threshold_seed(model, margin=10.0)
+        for dim in ("cpu", "io", "net"):
+            assert 0.0 <= seed[dim] <= 1.0
+
+    def test_margin_validation(self):
+        _, _, model = make_model()
+        with pytest.raises(ValueError):
+            greedy_threshold_seed(model, margin=-0.1)
+
+
+class TestGreedyVersusSearch:
+    def test_search_never_worse_than_greedy(self):
+        """The full search (exhaustive on this small problem) must find a
+        plan at least as good as greedy on the weighted total."""
+        physical, cluster, model = make_model(heavy_parallelism=5, workers=3)
+        weights = {"cpu": 1.0, "io": 1.0, "net": 0.01}
+        greedy_cost = model.cost(greedy_balanced_plan(model, weights))
+        result = CapsSearch(model, selection_weights=weights).run()
+        assert result.found
+        assert (
+            result.best_cost.weighted_total(weights)
+            <= greedy_cost.weighted_total(weights) + 1e-9
+        )

@@ -1,0 +1,138 @@
+"""End-to-end integration tests: the full CAPSys pipeline on miniature
+versions of the paper's experiments."""
+
+import random
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, R5D_XLARGE
+from repro.dataflow.physical import PhysicalGraph
+from repro.controller.capsys import CAPSysController, ControllerConfig
+from repro.experiments import make_isolation_cluster, make_motivation_cluster
+from repro.experiments.runner import (
+    place_sequentially,
+    simulate_multi_job,
+    simulate_plan,
+    strategy_box_runs,
+)
+from repro.placement import CapsStrategy, FlinkDefaultStrategy, FlinkEvenlyStrategy
+from repro.workloads import q1_sliding, q5_aggregate, query_by_name
+
+FAST = ControllerConfig(profiling_duration_s=90.0, activation_time_s=60.0)
+
+
+class TestFigure7Miniature:
+    """CAPS beats the Flink baselines on Q5-aggregate, stably."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        preset = query_by_name("Q5-aggregate")
+        cluster = make_isolation_cluster()
+        ctl = CAPSysController(preset.build(), cluster, strategy="caps", config=FAST)
+        uc = ctl.profile()
+        rates = {op: preset.isolation_rate for op in preset.build().sources()}
+        par = ctl.initial_parallelism(rates)
+        g = preset.build().with_parallelism(par)
+        src_rates = {(g.job_id, op): preset.isolation_rate for op in g.sources()}
+        out = {}
+        for strategy in (
+            CapsStrategy(src_rates, unit_costs_provider=lambda p: uc),
+            FlinkDefaultStrategy(),
+            FlinkEvenlyStrategy(),
+        ):
+            runs = strategy_box_runs(
+                g, cluster, strategy, preset.isolation_rate,
+                runs=3, duration_s=240, warmup_s=100,
+            )
+            out[strategy.name] = [r.only for r in runs]
+        return out
+
+    def test_caps_meets_target(self, results):
+        assert all(s.meets_target() for s in results["caps"])
+
+    def test_caps_beats_default(self, results):
+        caps_min = min(s.throughput for s in results["caps"])
+        default_best = max(s.throughput for s in results["default"])
+        assert caps_min >= default_best
+
+    def test_caps_is_stable_across_runs(self, results):
+        values = [s.throughput for s in results["caps"]]
+        assert max(values) - min(values) < 1e-6
+
+    def test_caps_lowest_backpressure(self, results):
+        caps_bp = max(s.backpressure for s in results["caps"])
+        default_bp = min(s.backpressure for s in results["default"])
+        assert caps_bp <= default_bp + 1e-9
+
+
+class TestMultiTenantMiniature:
+    """Two queries globally placed by CAPS vs sequentially by default."""
+
+    def test_global_caps_placement_meets_both(self):
+        cluster = make_isolation_cluster()
+        presets = [query_by_name("Q1-sliding"), query_by_name("Q5-aggregate")]
+        jobs, rates, unit_costs = [], {}, {}
+        for preset in presets:
+            g = preset.build()
+            ctl = CAPSysController(g, cluster, strategy="caps", config=FAST)
+            unit_costs.update(ctl.profile())
+            r = preset.isolation_rate * 0.4
+            par = ctl.initial_parallelism({op: r for op in g.sources()})
+            scaled = g.with_parallelism(par)
+            jobs.append(scaled)
+            for op in scaled.sources():
+                rates[(scaled.job_id, op)] = r
+        merged = PhysicalGraph.merge([PhysicalGraph.expand(j) for j in jobs])
+        strategy = CapsStrategy(
+            rates, unit_costs_provider=lambda p: unit_costs, search_timeout_s=3.0
+        )
+        plan = strategy.place_validated(merged, cluster)
+        summaries = simulate_multi_job(
+            merged, cluster, plan, rates, duration_s=240, warmup_s=100
+        )
+        assert all(s.meets_target() for s in summaries.values())
+
+    def test_sequential_baseline_is_order_sensitive(self):
+        cluster = make_isolation_cluster()
+        presets = [query_by_name("Q1-sliding"), query_by_name("Q5-aggregate")]
+        physicals = []
+        for preset in presets:
+            g = preset.build()
+            physicals.append(PhysicalGraph.expand(g))
+        plans = set()
+        for seed in range(4):
+            order = list(range(len(physicals)))
+            random.Random(seed).shuffle(order)
+            plan = place_sequentially(
+                [physicals[i] for i in order], cluster, FlinkDefaultStrategy(seed=seed)
+            )
+            plans.add(plan)
+        assert len(plans) > 1
+
+
+class TestReconfigurationRoundTrip:
+    def test_scale_up_then_down_restores_parallelism(self):
+        g = query_by_name("Q3-inf").build()
+        cluster = Cluster.homogeneous(R5D_XLARGE.with_slots(8), count=6)
+        ctl = CAPSysController(g, cluster, strategy="caps", config=FAST)
+        low = ctl.initial_parallelism({"source": 700.0})
+        high = ctl.initial_parallelism({"source": 1400.0})
+        low_again = ctl.initial_parallelism({"source": 700.0})
+        assert sum(high.values()) > sum(low.values())
+        assert low_again == low
+
+
+class TestMotivationStudyEndToEnd:
+    def test_caps_picks_a_target_meeting_plan_for_q1(self):
+        preset = query_by_name("Q1-sliding")
+        cluster = make_motivation_cluster()
+        g = preset.build()
+        strategy = CapsStrategy(
+            {(g.job_id, "source"): preset.target_rate}
+        )
+        plan = strategy.place_validated(PhysicalGraph.expand(g), cluster)
+        summary = simulate_plan(
+            g, cluster, plan, preset.target_rate, duration_s=300, warmup_s=120
+        )
+        assert summary.meets_target()
+        assert summary.backpressure < 0.05

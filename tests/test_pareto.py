@@ -1,0 +1,102 @@
+"""Unit tests for the pareto-front cache."""
+
+import pytest
+
+from repro.core.cost_model import CostVector
+from repro.core.pareto import ParetoFront
+
+
+def cv(c, i, n):
+    return CostVector(c, i, n)
+
+
+class TestInsert:
+    def test_insert_accepts_first(self):
+        front = ParetoFront()
+        assert front.insert(cv(0.5, 0.5, 0.5), "a")
+        assert len(front) == 1
+
+    def test_dominated_entry_rejected(self):
+        front = ParetoFront()
+        front.insert(cv(0.1, 0.1, 0.1), "good")
+        assert not front.insert(cv(0.2, 0.2, 0.2), "bad")
+        assert len(front) == 1
+
+    def test_dominating_entry_evicts(self):
+        front = ParetoFront()
+        front.insert(cv(0.2, 0.2, 0.2), "old")
+        assert front.insert(cv(0.1, 0.1, 0.1), "new")
+        assert len(front) == 1
+        assert front.best()[1] == "new"
+
+    def test_incomparable_entries_coexist(self):
+        front = ParetoFront()
+        front.insert(cv(0.1, 0.9, 0.5), "a")
+        front.insert(cv(0.9, 0.1, 0.5), "b")
+        assert len(front) == 2
+
+    def test_exact_duplicate_cost_rejected(self):
+        front = ParetoFront()
+        front.insert(cv(0.3, 0.3, 0.3), "a")
+        assert not front.insert(cv(0.3, 0.3, 0.3), "b")
+
+    def test_would_accept_matches_insert(self):
+        front = ParetoFront()
+        front.insert(cv(0.1, 0.1, 0.1), "a")
+        assert not front.would_accept(cv(0.2, 0.2, 0.2))
+        assert front.would_accept(cv(0.05, 0.5, 0.5))
+
+    def test_front_is_always_minimal(self):
+        front = ParetoFront()
+        front.insert(cv(0.5, 0.5, 0.5), "mid")
+        front.insert(cv(0.6, 0.4, 0.5), "side")
+        front.insert(cv(0.1, 0.1, 0.1), "best")
+        entries = front.entries()
+        for c1, _ in entries:
+            for c2, _ in entries:
+                assert not c1.dominates(c2)
+
+
+class TestCapacity:
+    def test_capacity_evicts_worst_total(self):
+        front = ParetoFront(capacity=2)
+        front.insert(cv(0.1, 0.9, 0.0), "a")   # total 1.0
+        front.insert(cv(0.9, 0.1, 0.0), "b")   # total 1.0
+        front.insert(cv(0.05, 0.5, 0.6), "c")  # total 1.15 (worst) but incomparable
+        assert len(front) == 2
+        payloads = {p for _, p in front.entries()}
+        assert "c" not in payloads
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ParetoFront(capacity=0)
+
+
+class TestBestAndMerge:
+    def test_best_minimises_total(self):
+        front = ParetoFront()
+        front.insert(cv(0.1, 0.8, 0.0), "a")  # 0.9
+        front.insert(cv(0.4, 0.1, 0.0), "b")  # 0.5
+        assert front.best()[1] == "b"
+
+    def test_best_with_weights(self):
+        front = ParetoFront()
+        front.insert(cv(0.1, 0.0, 0.9), "low-cpu")
+        front.insert(cv(0.5, 0.0, 0.1), "low-net")
+        # ignoring net flips the winner
+        assert front.best({"cpu": 1.0, "io": 1.0, "net": 0.0})[1] == "low-cpu"
+        assert front.best()[1] == "low-net"
+
+    def test_best_of_empty_is_none(self):
+        assert ParetoFront().best() is None
+        assert ParetoFront().is_empty()
+
+    def test_merge(self):
+        a = ParetoFront()
+        a.insert(cv(0.1, 0.9, 0.0), "a")
+        b = ParetoFront()
+        b.insert(cv(0.9, 0.1, 0.0), "b")
+        b.insert(cv(0.2, 0.95, 0.0), "dominated-by-a")
+        a.merge(b)
+        payloads = {p for _, p in a.entries()}
+        assert payloads == {"a", "b"}

@@ -1,0 +1,156 @@
+"""Unit tests for physical graph expansion and channel structure."""
+
+import pytest
+
+from repro.dataflow.graph import (
+    GraphValidationError,
+    LogicalGraph,
+    OperatorSpec,
+    Partitioning,
+)
+from repro.dataflow.physical import Channel, PhysicalGraph, Task
+
+
+def build(partitioning=Partitioning.HASH, p_up=2, p_down=3) -> PhysicalGraph:
+    g = LogicalGraph("g")
+    g.add_operator(OperatorSpec("up", is_source=True), parallelism=p_up)
+    g.add_operator(OperatorSpec("down"), parallelism=p_down)
+    g.add_edge("up", "down", partitioning)
+    return PhysicalGraph.expand(g)
+
+
+class TestTask:
+    def test_uid_includes_job_operator_index(self):
+        t = Task("job", "op", 3)
+        assert t.uid == "job/op[3]"
+
+    def test_tasks_are_value_objects(self):
+        assert Task("j", "o", 0) == Task("j", "o", 0)
+        assert Task("j", "o", 0) != Task("j", "o", 1)
+
+
+class TestChannel:
+    def test_share_bounds(self):
+        a, b = Task("j", "a", 0), Task("j", "b", 0)
+        with pytest.raises(ValueError):
+            Channel(a, b, share=0.0)
+        with pytest.raises(ValueError):
+            Channel(a, b, share=1.5)
+        Channel(a, b, share=1.0)
+
+
+class TestExpansion:
+    def test_hash_creates_all_to_all(self):
+        phys = build(Partitioning.HASH)
+        assert len(phys.tasks) == 5
+        assert len(phys.channels) == 6
+        for ch in phys.channels:
+            assert ch.share == pytest.approx(1.0 / 3.0)
+            assert not ch.reroutable
+
+    def test_rebalance_is_reroutable(self):
+        phys = build(Partitioning.REBALANCE)
+        assert all(ch.reroutable for ch in phys.channels)
+
+    def test_forward_pairs_by_index(self):
+        phys = build(Partitioning.FORWARD, p_up=3, p_down=3)
+        assert len(phys.channels) == 3
+        for ch in phys.channels:
+            assert ch.src.index == ch.dst.index
+            assert ch.share == 1.0
+
+    def test_broadcast_carries_full_stream(self):
+        phys = build(Partitioning.BROADCAST)
+        assert len(phys.channels) == 6
+        assert all(ch.share == 1.0 for ch in phys.channels)
+
+    def test_downstream_degree(self):
+        phys = build(Partitioning.HASH)
+        up0 = phys.operator_tasks("g", "up")[0]
+        down0 = phys.operator_tasks("g", "down")[0]
+        assert phys.downstream_degree(up0) == 3
+        assert phys.downstream_degree(down0) == 0
+        assert phys.is_sink_task(down0)
+        assert phys.is_source_task(up0)
+
+    def test_shares_sum_to_one_per_emitter(self):
+        phys = build(Partitioning.HASH, p_up=4, p_down=5)
+        for task in phys.operator_tasks("g", "up"):
+            assert sum(ch.share for ch in phys.out_channels(task)) == pytest.approx(1.0)
+
+    def test_index_of_is_dense_and_stable(self):
+        phys = build()
+        indices = [phys.index_of(t) for t in phys.tasks]
+        assert indices == list(range(len(phys.tasks)))
+
+    def test_task_by_uid_roundtrip(self):
+        phys = build()
+        for t in phys.tasks:
+            assert phys.task_by_uid(t.uid) == t
+
+    def test_operator_tasks_sorted_by_index(self):
+        phys = build(p_down=4)
+        tasks = phys.operator_tasks("g", "down")
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+
+    def test_spec_of(self):
+        phys = build()
+        up0 = phys.operator_tasks("g", "up")[0]
+        assert phys.spec_of(up0).is_source
+
+
+class TestFanInFanOut:
+    def test_multi_downstream_degrees(self):
+        g = LogicalGraph("g")
+        g.add_operator(OperatorSpec("s", is_source=True), parallelism=1)
+        g.add_operator(OperatorSpec("a"), parallelism=2)
+        g.add_operator(OperatorSpec("b"), parallelism=3)
+        g.add_edge("s", "a")
+        g.add_edge("s", "b")
+        phys = PhysicalGraph.expand(g)
+        s0 = phys.operator_tasks("g", "s")[0]
+        # |D(t)| spans both logical edges: 2 + 3 links.
+        assert phys.downstream_degree(s0) == 5
+
+    def test_fan_in_channels(self):
+        g = LogicalGraph("g")
+        g.add_operator(OperatorSpec("a", is_source=True), parallelism=2)
+        g.add_operator(OperatorSpec("b", is_source=True), parallelism=2)
+        g.add_operator(OperatorSpec("join"), parallelism=2)
+        g.add_edge("a", "join")
+        g.add_edge("b", "join")
+        phys = PhysicalGraph.expand(g)
+        j0 = phys.operator_tasks("g", "join")[0]
+        assert len(phys.in_channels(j0)) == 4
+
+
+class TestMerge:
+    def test_merge_combines_jobs(self):
+        g1 = LogicalGraph("job1")
+        g1.add_operator(OperatorSpec("s", is_source=True), parallelism=1)
+        g1.add_operator(OperatorSpec("m"), parallelism=2)
+        g1.add_edge("s", "m")
+        g2 = LogicalGraph("job2")
+        g2.add_operator(OperatorSpec("s", is_source=True), parallelism=1)
+        g2.add_operator(OperatorSpec("m"), parallelism=1)
+        g2.add_edge("s", "m")
+        merged = PhysicalGraph.merge(
+            [PhysicalGraph.expand(g1), PhysicalGraph.expand(g2)]
+        )
+        assert len(merged.tasks) == 5
+        assert len(merged.logical_graphs) == 2
+        assert merged.operator_tasks("job1", "m")[0].uid == "job1/m[0]"
+        # channels never cross jobs
+        for ch in merged.channels:
+            assert ch.src.job_id == ch.dst.job_id
+
+    def test_merge_rejects_duplicate_job_ids(self):
+        g = LogicalGraph("dup")
+        g.add_operator(OperatorSpec("s", is_source=True))
+        phys = PhysicalGraph.expand(g)
+        with pytest.raises(GraphValidationError):
+            PhysicalGraph.merge([phys, phys])
+
+    def test_operator_keys_preserve_order(self):
+        phys = build()
+        assert phys.operator_keys() == [("g", "up"), ("g", "down")]

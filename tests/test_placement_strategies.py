@@ -1,0 +1,194 @@
+"""Unit tests for the baseline placement strategies."""
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, WorkerSpec
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.experiments.runner import place_sequentially, plan_with_colocation
+from repro.placement import (
+    CapsStrategy,
+    FlinkDefaultStrategy,
+    FlinkEvenlyStrategy,
+    RandomSearchStrategy,
+)
+
+SPEC = WorkerSpec(cpu_capacity=4.0, disk_bandwidth=1e8, network_bandwidth=1e9, slots=4)
+
+
+def make_deployment(heavy_p=6, workers=4):
+    g = LogicalGraph("g")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-6), 2)
+    g.add_operator(
+        OperatorSpec("heavy", cpu_per_record=1e-3, io_bytes_per_record=10_000.0),
+        heavy_p,
+    )
+    g.add_edge("src", "heavy", Partitioning.HASH)
+    physical = PhysicalGraph.expand(g)
+    cluster = Cluster.homogeneous(SPEC, count=workers)
+    return g, physical, cluster
+
+
+class TestFlinkDefault:
+    def test_fills_workers_sequentially(self):
+        _, physical, cluster = make_deployment()
+        plan = FlinkDefaultStrategy(seed=0).place_validated(physical, cluster)
+        usage = plan.slot_usage()
+        # 8 tasks fill exactly two 4-slot workers
+        assert sorted(usage.values(), reverse=True) == [4, 4]
+
+    def test_seed_reproducibility(self):
+        _, physical, cluster = make_deployment()
+        a = FlinkDefaultStrategy(seed=7).place(physical, cluster)
+        b = FlinkDefaultStrategy(seed=7).place(physical, cluster)
+        assert a == b
+
+    def test_seeds_vary_plans(self):
+        _, physical, cluster = make_deployment()
+        plans = {
+            FlinkDefaultStrategy(seed=s).place(physical, cluster)
+            for s in range(10)
+        }
+        assert len(plans) > 1
+
+
+class TestFlinkEvenly:
+    def test_balances_task_counts(self):
+        _, physical, cluster = make_deployment()
+        plan = FlinkEvenlyStrategy(seed=0).place_validated(physical, cluster)
+        usage = plan.slot_usage()
+        assert sorted(usage.values()) == [2, 2, 2, 2]
+
+    def test_count_balance_is_not_load_balance(self):
+        """The paper's critique: evenly balances task *counts*, but
+        which tasks co-locate is random, so the heavy-task distribution
+        (and hence the load) varies across runs."""
+        _, physical, cluster = make_deployment()
+        distributions = set()
+        for seed in range(30):
+            plan = FlinkEvenlyStrategy(seed=seed).place(physical, cluster)
+            heavy_by_worker = {w.worker_id: 0 for w in cluster.workers}
+            for t in physical.tasks:
+                if t.operator == "heavy":
+                    heavy_by_worker[plan.worker_of(t)] += 1
+            distributions.add(tuple(sorted(heavy_by_worker.values())))
+        # slot counts are always balanced 2/2/2/2...
+        assert all(sum(d) == 6 for d in distributions)
+        # ...but the heavy-task placement differs run to run
+        assert len(distributions) > 1
+
+
+class TestRandomSearch:
+    def test_returns_valid_plan(self):
+        g, physical, cluster = make_deployment()
+
+        def factory(phys, clus):
+            costs = TaskCosts.from_specs(phys, {("g", "src"): 1000.0})
+            return CostModel(phys, clus, costs)
+
+        strategy = RandomSearchStrategy(factory, samples=50, seed=0)
+        plan = strategy.place_validated(physical, cluster)
+        plan.validate(physical, cluster)
+
+    def test_more_samples_never_worse(self):
+        g, physical, cluster = make_deployment()
+
+        def factory(phys, clus):
+            costs = TaskCosts.from_specs(phys, {("g", "src"): 1000.0})
+            return CostModel(phys, clus, costs)
+
+        model = factory(physical, cluster)
+        few = RandomSearchStrategy(factory, samples=2, seed=3).place(physical, cluster)
+        many = RandomSearchStrategy(factory, samples=200, seed=3).place(physical, cluster)
+        assert model.cost(many).total() <= model.cost(few).total() + 1e-9
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearchStrategy(lambda p, c: None, samples=0)
+
+
+class TestCapsStrategy:
+    def test_produces_balanced_plan(self):
+        g, physical, cluster = make_deployment()
+        strategy = CapsStrategy({("g", "src"): 1000.0})
+        plan = strategy.place_validated(physical, cluster)
+        heavy_workers = {
+            plan.worker_of(t) for t in physical.operator_tasks("g", "heavy")
+        }
+        # 6 heavy tasks over 4 workers: at most 2 per worker
+        counts = [
+            sum(
+                1
+                for t in physical.operator_tasks("g", "heavy")
+                if plan.worker_of(t) == w
+            )
+            for w in heavy_workers
+        ]
+        assert max(counts) <= 2
+
+    def test_deterministic(self):
+        g, physical, cluster = make_deployment()
+        a = CapsStrategy({("g", "src"): 1000.0}).place(physical, cluster)
+        b = CapsStrategy({("g", "src"): 1000.0}).place(physical, cluster)
+        assert a == b
+
+    def test_explicit_thresholds_respected(self):
+        g, physical, cluster = make_deployment()
+        strategy = CapsStrategy(
+            {("g", "src"): 1000.0}, thresholds={"cpu": 0.3, "io": 0.3, "net": 1.0}
+        )
+        plan = strategy.place_validated(physical, cluster)
+        cost = strategy.last_cost_model.cost(plan)
+        assert cost.cpu <= 0.3 + 1e-6
+        assert cost.io <= 0.3 + 1e-6
+
+    def test_diagnostics_populated(self):
+        g, physical, cluster = make_deployment()
+        strategy = CapsStrategy({("g", "src"): 1000.0})
+        strategy.place(physical, cluster)
+        assert strategy.last_cost_model is not None
+        assert strategy.last_thresholds is not None
+        assert strategy.last_search_stats is not None
+
+
+class TestSequentialPlacement:
+    def test_merges_jobs_without_overflow(self):
+        g1, p1, cluster = make_deployment(heavy_p=4, workers=4)
+        g2 = LogicalGraph("h")
+        g2.add_operator(OperatorSpec("src", is_source=True), 2)
+        g2.add_operator(OperatorSpec("map", cpu_per_record=1e-5), 4)
+        g2.add_edge("src", "map")
+        p2 = PhysicalGraph.expand(g2)
+        plan = place_sequentially([p1, p2], cluster, FlinkDefaultStrategy(seed=0))
+        merged = PhysicalGraph.merge([p1, p2])
+        plan.validate(merged, cluster)
+
+    def test_second_job_sees_reduced_slots(self):
+        _, p1, cluster = make_deployment(heavy_p=6, workers=4)  # 8 tasks
+        g2 = LogicalGraph("h")
+        g2.add_operator(OperatorSpec("src", is_source=True), 8)
+        p2 = PhysicalGraph.expand(g2)
+        plan = place_sequentially([p1, p2], cluster, FlinkDefaultStrategy(seed=1))
+        usage = plan.slot_usage()
+        assert sum(usage.values()) == 16
+        assert all(v <= 4 for v in usage.values())
+
+
+class TestColocationPlanBuilder:
+    def test_colocates_requested_degree(self):
+        g, physical, cluster = make_deployment()
+        plan = plan_with_colocation(g, cluster, ["heavy"], 3)
+        hot = [
+            t for t in physical.operator_tasks("g", "heavy")
+            if plan.worker_of(t) == 0
+        ]
+        assert len(hot) == 3
+        plan.validate(physical, cluster)
+
+    def test_validation(self):
+        g, physical, cluster = make_deployment()
+        with pytest.raises(ValueError):
+            plan_with_colocation(g, cluster, ["heavy"], 0)
+        with pytest.raises(ValueError):
+            plan_with_colocation(g, cluster, ["heavy"], 99)

@@ -1,0 +1,153 @@
+"""Unit tests for placement plans and the constraints of paper Eq. 1-2."""
+
+import pytest
+
+from repro.dataflow.cluster import Cluster, R5D_XLARGE, Worker
+from repro.dataflow.graph import LogicalGraph, OperatorSpec
+from repro.dataflow.physical import PhysicalGraph
+from repro.dataflow.validation import DeploymentError, validate_deployment
+from repro.core.plan import PlacementPlan, PlanValidationError
+
+
+@pytest.fixture
+def setup():
+    g = LogicalGraph("g")
+    g.add_operator(OperatorSpec("s", is_source=True), parallelism=2)
+    g.add_operator(OperatorSpec("w"), parallelism=4)
+    g.add_edge("s", "w")
+    physical = PhysicalGraph.expand(g)
+    cluster = Cluster.homogeneous(R5D_XLARGE.with_slots(4), count=2)
+    return physical, cluster
+
+
+def spread_plan(physical) -> PlacementPlan:
+    return PlacementPlan(
+        {t.uid: i % 2 for i, t in enumerate(physical.tasks)}
+    )
+
+
+class TestConstruction:
+    def test_from_task_map(self, setup):
+        physical, cluster = setup
+        plan = PlacementPlan.from_task_map({t: 0 for t in physical.tasks})
+        assert plan.worker_of(physical.tasks[0]) == 0
+
+    def test_from_operator_counts(self, setup):
+        physical, cluster = setup
+        plan = PlacementPlan.from_operator_counts(
+            physical,
+            {("g", "s"): {0: 2}, ("g", "w"): {0: 2, 1: 2}},
+        )
+        plan.validate(physical, cluster)
+        usage = plan.slot_usage()
+        assert usage == {0: 4, 1: 2}
+
+    def test_from_operator_counts_rejects_wrong_total(self, setup):
+        physical, _ = setup
+        with pytest.raises(PlanValidationError):
+            PlacementPlan.from_operator_counts(
+                physical, {("g", "s"): {0: 1}, ("g", "w"): {0: 4}}
+            )
+
+    def test_operator_counts_roundtrip(self, setup):
+        physical, cluster = setup
+        counts = {("g", "s"): {0: 1, 1: 1}, ("g", "w"): {0: 3, 1: 1}}
+        plan = PlacementPlan.from_operator_counts(physical, counts)
+        assert plan.operator_counts(physical) == counts
+
+
+class TestValidation:
+    def test_valid_plan_passes(self, setup):
+        physical, cluster = setup
+        spread_plan(physical).validate(physical, cluster)
+
+    def test_missing_task_rejected(self, setup):
+        physical, cluster = setup
+        plan = PlacementPlan({physical.tasks[0].uid: 0})
+        with pytest.raises(PlanValidationError):
+            plan.validate(physical, cluster)
+
+    def test_unknown_task_rejected(self, setup):
+        physical, cluster = setup
+        assignment = {t.uid: i % 2 for i, t in enumerate(physical.tasks)}
+        assignment["ghost/task[0]"] = 0
+        with pytest.raises(PlanValidationError):
+            PlacementPlan(assignment).validate(physical, cluster)
+
+    def test_unknown_worker_rejected(self, setup):
+        physical, cluster = setup
+        plan = PlacementPlan({t.uid: 42 for t in physical.tasks})
+        with pytest.raises(PlanValidationError):
+            plan.validate(physical, cluster)
+
+    def test_slot_overflow_rejected(self, setup):
+        physical, cluster = setup
+        plan = PlacementPlan({t.uid: 0 for t in physical.tasks})  # 6 tasks, 4 slots
+        with pytest.raises(PlanValidationError):
+            plan.validate(physical, cluster)
+
+    def test_worker_of_unplaced_task_raises(self, setup):
+        physical, _ = setup
+        plan = PlacementPlan({})
+        with pytest.raises(PlanValidationError):
+            plan.worker_of(physical.tasks[0])
+
+
+class TestDeploymentValidation:
+    def test_too_many_tasks(self, setup):
+        physical, _ = setup
+        tiny = Cluster.homogeneous(R5D_XLARGE.with_slots(2), count=2)
+        with pytest.raises(DeploymentError):
+            validate_deployment(physical, tiny)
+
+    def test_fits(self, setup):
+        physical, cluster = setup
+        validate_deployment(physical, cluster)
+
+
+class TestCanonicalSignature:
+    def test_worker_permutation_invariance(self, setup):
+        physical, cluster = setup
+        plan_a = PlacementPlan.from_operator_counts(
+            physical, {("g", "s"): {0: 2}, ("g", "w"): {0: 1, 1: 3}}
+        )
+        plan_b = PlacementPlan.from_operator_counts(
+            physical, {("g", "s"): {1: 2}, ("g", "w"): {1: 1, 0: 3}}
+        )
+        assert plan_a.canonical_signature(physical) == plan_b.canonical_signature(
+            physical
+        )
+
+    def test_distinct_shapes_differ(self, setup):
+        physical, _ = setup
+        plan_a = PlacementPlan.from_operator_counts(
+            physical, {("g", "s"): {0: 2}, ("g", "w"): {0: 2, 1: 2}}
+        )
+        plan_b = PlacementPlan.from_operator_counts(
+            physical, {("g", "s"): {0: 1, 1: 1}, ("g", "w"): {0: 2, 1: 2}}
+        )
+        assert plan_a.canonical_signature(physical) != plan_b.canonical_signature(
+            physical
+        )
+
+    def test_task_permutation_within_operator_invariance(self, setup):
+        physical, _ = setup
+        w = physical.operator_tasks("g", "w")
+        s = physical.operator_tasks("g", "s")
+        plan_a = PlacementPlan(
+            {s[0].uid: 0, s[1].uid: 1, w[0].uid: 0, w[1].uid: 0, w[2].uid: 1, w[3].uid: 1}
+        )
+        plan_b = PlacementPlan(
+            {s[0].uid: 0, s[1].uid: 1, w[2].uid: 0, w[3].uid: 0, w[0].uid: 1, w[1].uid: 1}
+        )
+        assert plan_a.canonical_signature(physical) == plan_b.canonical_signature(
+            physical
+        )
+
+    def test_equality_and_hash(self, setup):
+        physical, _ = setup
+        a = spread_plan(physical)
+        b = spread_plan(physical)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len(a) == len(physical.tasks)

@@ -1,0 +1,98 @@
+"""Unit tests for the six evaluation queries and their paper-calibrated
+plan counts on the motivation cluster."""
+
+import pytest
+
+from repro.experiments import enumerate_all_plans, make_motivation_cluster
+from repro.workloads import (
+    ALL_QUERIES,
+    q1_sliding,
+    q2_join,
+    q3_inf,
+    q4_join,
+    q5_aggregate,
+    q6_session,
+    query_by_name,
+)
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("preset", ALL_QUERIES, ids=lambda p: p.name)
+    def test_builds_valid_graph(self, preset):
+        g = preset.build()
+        g.validate()
+        assert g.total_tasks() > 0
+
+    def test_q1_structure(self):
+        g = q1_sliding()
+        assert g.topological_order() == ["source", "map", "sliding_window"]
+        assert g.operator("sliding_window").io_bytes_per_record > 0
+
+    def test_q2_has_two_sources(self):
+        assert len(q2_join().sources()) == 2
+
+    def test_q3_inference_has_gc_spike(self):
+        g = q3_inf()
+        assert g.operator("inference").gc_spike is not None
+        # the network-intensive operators emit large records
+        assert g.operator("decode").out_record_bytes > 100_000
+        assert g.operator("source").out_record_bytes > 50_000
+
+    def test_q4_filters_are_selective(self):
+        g = q4_join()
+        assert g.operator("filter_persons").selectivity < 1.0
+        assert g.operator("filter_auctions").selectivity < 1.0
+
+    def test_q5_shape(self):
+        g = q5_aggregate()
+        assert len(g.sources()) == 2
+        assert "winning_bid_join" in g
+        assert "avg_price_process" in g
+
+    def test_q6_session_accumulates_state(self):
+        g = q6_session()
+        assert g.operator("session_window").state_bytes_per_record > 0
+
+    def test_custom_parallelism(self):
+        g = q1_sliding(source_parallelism=1, map_parallelism=1, window_parallelism=2)
+        assert g.total_tasks() == 4
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert query_by_name("Q3-inf").name == "Q3-inf"
+        with pytest.raises(KeyError):
+            query_by_name("Q9-unknown")
+
+    def test_all_presets_have_positive_rates(self):
+        for preset in ALL_QUERIES:
+            assert preset.target_rate > 0
+            assert preset.isolation_rate > 0
+
+    def test_dominant_dimensions(self):
+        assert query_by_name("Q1-sliding").dominant_dimension == "io"
+        assert query_by_name("Q3-inf").dominant_dimension == "cpu"
+
+
+class TestPaperPlanCounts:
+    """Plan-space sizes on the 4-worker/16-slot motivation cluster.
+
+    The paper reports 80 plans for Q1-sliding, 665 for Q2-join, and 950
+    for Q3-inf (sections 3.2-3.3). Our default parallelisms reproduce 80
+    and 950 exactly; Q2-join yields 601, the closest achievable count
+    (documented in EXPERIMENTS.md).
+    """
+
+    def test_q1_has_exactly_80_plans(self):
+        plans, _ = enumerate_all_plans(
+            q1_sliding(), make_motivation_cluster(), 14_500.0
+        )
+        assert len(plans) == 80
+
+    def test_q3_has_exactly_950_plans(self):
+        plans, _ = enumerate_all_plans(q3_inf(), make_motivation_cluster(), 1_000.0)
+        assert len(plans) == 950
+
+    def test_q2_plan_count(self):
+        plans, _ = enumerate_all_plans(q2_join(), make_motivation_cluster(), 55_000.0)
+        assert len(plans) == 601

@@ -1,0 +1,102 @@
+"""Unit tests for the input-rate patterns."""
+
+import pytest
+
+from repro.workloads.rates import (
+    ConstantRate,
+    RampRate,
+    SineRate,
+    SquareWaveRate,
+    StepSchedule,
+    TimeShiftedRate,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        assert ConstantRate(100.0)(12345.0) == 100.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+
+class TestStepSchedule:
+    def test_doubling_then_halving_matches_paper(self):
+        s = StepSchedule.doubling_then_halving(720.0, interval_s=600.0)
+        assert [s(t) for t in (0, 599, 600, 1200, 1800, 2400, 9999)] == [
+            720.0, 720.0, 1440.0, 2880.0, 1440.0, 720.0, 720.0,
+        ]
+
+    def test_change_times(self):
+        s = StepSchedule.doubling_then_halving(720.0, interval_s=600.0)
+        assert s.change_times() == [600.0, 1200.0, 1800.0, 2400.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepSchedule(())
+        with pytest.raises(ValueError):
+            StepSchedule(((10.0, 1.0),))  # must start at 0
+        with pytest.raises(ValueError):
+            StepSchedule(((0.0, 1.0), (5.0, 2.0), (3.0, 1.0)))  # out of order
+
+
+class TestSquareWave:
+    def test_alternation(self):
+        w = SquareWaveRate(high=100.0, low=10.0, period_s=60.0)
+        assert w(0.0) == 100.0
+        assert w(59.9) == 100.0
+        assert w(60.0) == 10.0
+        assert w(120.0) == 100.0
+
+    def test_start_low(self):
+        w = SquareWaveRate(high=100.0, low=10.0, period_s=60.0, start_high=False)
+        assert w(0.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareWaveRate(high=1.0, low=2.0, period_s=10.0)
+        with pytest.raises(ValueError):
+            SquareWaveRate(high=2.0, low=1.0, period_s=0.0)
+
+
+class TestSine:
+    def test_bounds(self):
+        s = SineRate(mean=100.0, amplitude=50.0, period_s=60.0)
+        values = [s(t) for t in range(0, 120)]
+        assert min(values) >= 50.0 - 1e-9
+        assert max(values) <= 150.0 + 1e-9
+
+    def test_mean_at_phase_zero(self):
+        assert SineRate(100.0, 50.0, 60.0)(0.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SineRate(100.0, 150.0, 60.0)
+
+
+class TestRamp:
+    def test_linear_then_flat(self):
+        r = RampRate(start=0.0, end=100.0, duration_s=10.0)
+        assert r(0.0) == 0.0
+        assert r(5.0) == pytest.approx(50.0)
+        assert r(10.0) == 100.0
+        assert r(100.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampRate(0.0, 1.0, 0.0)
+
+
+class TestTimeShifted:
+    def test_offset_applies(self):
+        base = StepSchedule.doubling_then_halving(720.0, interval_s=600.0)
+        shifted = TimeShiftedRate(base, offset_s=600.0)
+        assert shifted(0.0) == 1440.0
+        assert shifted(600.0) == 2880.0
+
+
+class TestMaxRate:
+    def test_max_over_horizon(self):
+        w = SquareWaveRate(high=100.0, low=10.0, period_s=60.0)
+        assert w.max_rate(300.0) == 100.0

@@ -1,0 +1,127 @@
+"""Unit tests for text reporting and figure-data assembly."""
+
+import pytest
+
+from repro.core.cost_model import CostVector
+from repro.core.plan import PlacementPlan
+from repro.controller.events import AdaptiveRunResult, TimelineSample
+from repro.experiments.figures import (
+    best_and_worst,
+    convergence_timeline_rows,
+    cost_throughput_scatter,
+    rank_plans_by_throughput,
+)
+from repro.experiments.reporting import (
+    BoxStats,
+    box_stats,
+    check_or_cross,
+    format_percent,
+    format_table,
+)
+from repro.simulator.results import JobSummary
+
+
+def summary(throughput):
+    return JobSummary("j", 100.0, throughput, 0.0, 1.0, 10.0)
+
+
+def plan():
+    return PlacementPlan({"j/a[0]": 0})
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        stats = box_stats([1, 2, 3, 4, 5])
+        assert stats.minimum == 1
+        assert stats.median == 3
+        assert stats.maximum == 5
+        assert stats.mean == 3
+        assert stats.q1 == 2
+        assert stats.q3 == 4
+
+    def test_interpolation(self):
+        stats = box_stats([0.0, 1.0])
+        assert stats.median == pytest.approx(0.5)
+
+    def test_single_value(self):
+        stats = box_stats([7.0])
+        assert stats.minimum == stats.maximum == stats.median == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    def test_str(self):
+        assert "med=" in str(box_stats([1.0, 2.0]))
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 123.456]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "long-name" in lines[4]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_cell_rendering(self):
+        text = format_table(["v"], [[True], [0.5], [12345.678], [float("nan")]])
+        assert "yes" in text
+        assert "-" in text
+
+    def test_helpers(self):
+        assert format_percent(0.318) == "31.8%"
+        assert check_or_cross(True) == "OK"
+        assert check_or_cross(False) == "X"
+
+
+class TestFigureData:
+    def evaluated(self):
+        return [
+            (CostVector(0.1, 0.1, 0.1), plan(), summary(50.0)),
+            (CostVector(0.2, 0.2, 0.2), plan(), summary(90.0)),
+            (CostVector(0.3, 0.3, 0.3), plan(), summary(70.0)),
+            (CostVector(0.4, 0.4, 0.4), plan(), summary(20.0)),
+        ]
+
+    def test_ranking(self):
+        ranked = rank_plans_by_throughput(self.evaluated())
+        assert [r.summary.throughput for r in ranked] == [90.0, 70.0, 50.0, 20.0]
+        assert [r.label for r in ranked] == ["P1", "P2", "P3", "P4"]
+
+    def test_best_and_worst(self):
+        ranked = rank_plans_by_throughput(self.evaluated())
+        picked = best_and_worst(ranked, k=2)
+        assert [p.summary.throughput for p in picked] == [90.0, 70.0, 50.0, 20.0]
+        assert [p.label for p in picked] == ["P1", "P2", "P3", "P4"]
+
+    def test_best_and_worst_small_input(self):
+        ranked = rank_plans_by_throughput(self.evaluated()[:2])
+        assert len(best_and_worst(ranked, k=3)) == 2
+
+    def test_scatter(self):
+        rows = cost_throughput_scatter(self.evaluated())
+        assert rows[0] == (0.1, 0.1, 0.1, 50.0)
+        assert len(rows) == 4
+
+    def test_convergence_rows(self):
+        result = AdaptiveRunResult(
+            samples=[
+                TimelineSample(10.0, 100.0, 90.0, 0.1, 1.0, 4),
+                TimelineSample(70.0, 200.0, 180.0, 0.1, 1.0, 8),
+            ]
+        )
+        rows = convergence_timeline_rows(result, bucket_s=60.0)
+        assert len(rows) == 2
+        assert rows[0][1] == pytest.approx(100.0)
+        assert rows[1][3] == 8
+
+    def test_convergence_rows_validation(self):
+        with pytest.raises(ValueError):
+            convergence_timeline_rows(AdaptiveRunResult(), bucket_s=0.0)
+        assert convergence_timeline_rows(AdaptiveRunResult()) == []

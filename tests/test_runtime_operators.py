@@ -1,0 +1,189 @@
+"""Unit tests for the record-level operators and state accounting."""
+
+import pytest
+
+from repro.runtime.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    MapOperator,
+    Record,
+    SessionWindowOperator,
+    WindowAggregateOperator,
+    WindowJoinOperator,
+)
+from repro.runtime.state import KeyedState, default_sizer
+from repro.runtime.windows import TumblingWindows, Window
+
+
+class TestStatelessOperators:
+    def test_map(self):
+        op = MapOperator("m", lambda v: v * 2)
+        out = op.process(Record(5, 21))
+        assert out == [Record(5, 42)]
+        assert op.stats.selectivity == 1.0
+
+    def test_filter(self):
+        op = FilterOperator("f", lambda v: v > 0)
+        assert op.process(Record(0, 1)) == [Record(0, 1)]
+        assert op.process(Record(1, -1)) == []
+        assert op.stats.records_in == 2
+        assert op.stats.selectivity == 0.5
+
+    def test_flatmap(self):
+        op = FlatMapOperator("fm", lambda v: range(v))
+        out = op.process(Record(0, 3))
+        assert [r.value for r in out] == [0, 1, 2]
+        assert op.stats.selectivity == 3.0
+
+
+class TestKeyedState:
+    def test_access_accounting(self):
+        state = KeyedState()
+        state.put("a", [1, 2, 3])
+        state.get("a")
+        assert state.stats.writes == 1
+        assert state.stats.reads == 1
+        assert state.stats.bytes_written > 0
+        assert state.stats.bytes_read > 0
+        assert state.stats.io_bytes == (
+            state.stats.bytes_read + state.stats.bytes_written
+        )
+
+    def test_delete_and_size(self):
+        state = KeyedState()
+        state.put("a", "hello")
+        assert state.size_bytes() > 0
+        state.delete("a")
+        assert len(state) == 0
+
+    def test_default_sizer(self):
+        assert default_sizer(1) == 8
+        assert default_sizer("abcd") == 4
+        assert default_sizer([1, 2]) == 24
+        assert default_sizer(None) == 1
+        assert default_sizer({"a": 1}) > 8
+
+
+class TestWindowAggregate:
+    def make(self):
+        return WindowAggregateOperator(
+            "win",
+            assigner=TumblingWindows(10),
+            key_fn=lambda v: v[0],
+            init_fn=lambda: 0,
+            add_fn=lambda acc, v: acc + v[1],
+            result_fn=lambda key, window, acc: (key, window.start_ms, acc),
+        )
+
+    def test_buffers_until_watermark(self):
+        op = self.make()
+        assert op.process(Record(1, ("k", 5))) == []
+        assert op.on_watermark(5) == []  # window [0,10) not closed yet
+        fired = op.on_watermark(10)
+        assert [r.value for r in fired] == [("k", 0, 5)]
+
+    def test_aggregates_per_key_and_window(self):
+        op = self.make()
+        op.process(Record(1, ("a", 1)))
+        op.process(Record(2, ("a", 2)))
+        op.process(Record(3, ("b", 10)))
+        op.process(Record(12, ("a", 7)))
+        fired = op.on_watermark(100)
+        values = sorted(r.value for r in fired)
+        assert values == [("a", 0, 3), ("a", 10, 7), ("b", 0, 10)]
+
+    def test_state_cleared_after_firing(self):
+        op = self.make()
+        op.process(Record(1, ("k", 5)))
+        op.on_watermark(100)
+        assert len(op.state) == 0
+
+    def test_window_never_fires_twice(self):
+        op = self.make()
+        op.process(Record(1, ("k", 5)))
+        first = op.on_watermark(10)
+        second = op.on_watermark(20)
+        assert len(first) == 1
+        assert second == []
+
+
+class TestSessionOperator:
+    def make(self, gap=5):
+        return SessionWindowOperator(
+            "sess",
+            gap_ms=gap,
+            key_fn=lambda v: v,
+            init_fn=lambda: 0,
+            add_fn=lambda acc, _v: acc + 1,
+            result_fn=lambda key, window, acc: (key, window.start_ms, acc),
+        )
+
+    def test_single_session_counts(self):
+        op = self.make()
+        op.process(Record(0, "k"))
+        op.process(Record(3, "k"))
+        fired = op.on_watermark(100)
+        assert [r.value for r in fired] == [("k", 0, 2)]
+
+    def test_merging_sessions_merges_counts(self):
+        op = self.make()
+        op.process(Record(0, "k"))
+        op.process(Record(8, "k"))   # separate proto-session
+        op.process(Record(4, "k"))   # bridges them
+        fired = op.on_watermark(100)
+        assert [r.value for r in fired] == [("k", 0, 3)]
+
+    def test_sessions_fire_only_when_closed(self):
+        op = self.make()
+        op.process(Record(0, "k"))
+        assert op.on_watermark(4) == []   # session [0,5) still open
+        # watermark == end still admits a gap-inclusive merge at ts 5
+        assert op.on_watermark(5) == []
+        assert len(op.on_watermark(6)) == 1
+
+
+class TestWindowJoin:
+    def make(self):
+        return WindowJoinOperator(
+            "join",
+            window_size_ms=10,
+            left_key_fn=lambda v: v["id"],
+            right_key_fn=lambda v: v["ref"],
+            result_fn=lambda l, r: (l["id"], r["name"]),
+        )
+
+    def test_matching_pair_joins(self):
+        op = self.make()
+        op.process_side("left", Record(1, {"id": 7}))
+        op.process_side("right", Record(2, {"ref": 7, "name": "x"}))
+        fired = op.on_watermark(10)
+        assert [r.value for r in fired] == [(7, "x")]
+
+    def test_different_windows_do_not_join(self):
+        op = self.make()
+        op.process_side("left", Record(1, {"id": 7}))
+        op.process_side("right", Record(11, {"ref": 7, "name": "x"}))
+        fired = op.on_watermark(100)
+        assert fired == []
+
+    def test_cartesian_within_key(self):
+        op = self.make()
+        op.process_side("left", Record(1, {"id": 7}))
+        op.process_side("left", Record(2, {"id": 7}))
+        op.process_side("right", Record(3, {"ref": 7, "name": "a"}))
+        op.process_side("right", Record(4, {"ref": 7, "name": "b"}))
+        fired = op.on_watermark(10)
+        assert len(fired) == 4
+
+    def test_state_cleared_after_window(self):
+        op = self.make()
+        op.process_side("left", Record(1, {"id": 7}))
+        op.on_watermark(100)
+        assert len(op.state) == 0
+
+    def test_untagged_process_rejected(self):
+        op = self.make()
+        with pytest.raises(RuntimeError):
+            op.process(Record(0, {}))
+        with pytest.raises(ValueError):
+            op.process_side("middle", Record(0, {}))

@@ -1,0 +1,49 @@
+"""Unit tests for operator-level rate aggregation."""
+
+import pytest
+
+from repro.dataflow.graph import LogicalGraph, OperatorSpec
+from repro.dataflow.physical import PhysicalGraph
+from repro.scaling.rates import OperatorRates, aggregate_operator_rates
+from repro.simulator.metrics import TaskRates
+
+
+def physical():
+    g = LogicalGraph("job")
+    g.add_operator(OperatorSpec("src", is_source=True), parallelism=2)
+    return PhysicalGraph.expand(g)
+
+
+class TestOperatorRates:
+    def test_selectivity(self):
+        r = OperatorRates(100.0, 200.0, 100.0, 0.5)
+        assert r.selectivity() == pytest.approx(0.5)
+
+    def test_selectivity_fallback_when_starved(self):
+        r = OperatorRates(100.0, 0.0, 0.0, 0.0)
+        assert r.selectivity(fallback=0.3) == 0.3
+
+
+class TestAggregation:
+    def test_means_and_sums(self):
+        phys = physical()
+        task_rates = {
+            "job/src[0]": TaskRates(
+                observed_rate=10.0, true_rate=100.0,
+                observed_output_rate=5.0, busy_fraction=0.1,
+            ),
+            "job/src[1]": TaskRates(
+                observed_rate=30.0, true_rate=300.0,
+                observed_output_rate=15.0, busy_fraction=0.3,
+            ),
+        }
+        agg = aggregate_operator_rates(phys, task_rates)[("job", "src")]
+        assert agg.true_rate_per_task == pytest.approx(200.0)  # mean
+        assert agg.observed_rate == pytest.approx(40.0)  # sum
+        assert agg.observed_output_rate == pytest.approx(20.0)  # sum
+        assert agg.busy_fraction == pytest.approx(0.2)  # mean
+
+    def test_missing_task_raises(self):
+        phys = physical()
+        with pytest.raises(KeyError):
+            aggregate_operator_rates(phys, {})
