@@ -9,6 +9,10 @@ wall-clock repetition would only burn time without adding information.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
 from typing import Callable, Dict, Mapping, Tuple
 
 from repro.controller.capsys import CAPSysController, ControllerConfig
@@ -21,6 +25,29 @@ from repro.workloads import QueryPreset
 #: free, so the benches use a compressed but still steady-state window.
 DURATION_S = 420.0
 WARMUP_S = 180.0
+
+
+def write_bench_json(name: str, payload: Mapping, directory: str = ".") -> str:
+    """Write a machine-readable ``BENCH_<name>.json`` result file.
+
+    The shared writer for the perf-trajectory files: every entry carries
+    enough environment metadata (host python, core count, timestamp) for
+    a later run to decide whether a comparison is apples-to-apples.
+    Returns the path written.
+    """
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    document = {
+        "bench": name,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "results": dict(payload),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def run_once(benchmark, fn: Callable):

@@ -26,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.controller.capsys import CAPSysController, ControllerConfig
+from repro.core import SEARCH_BACKENDS
 from repro.dataflow.cluster import Cluster, M5D_2XLARGE, R5D_XLARGE
 from repro.dataflow.physical import PhysicalGraph
 from repro.experiments import enumerate_all_plans
@@ -49,6 +50,22 @@ def _add_cluster_args(parser: argparse.ArgumentParser, workers=4, slots=8) -> No
                         help="slots per worker")
     parser.add_argument("--instance", choices=("r5d", "m5d"), default="m5d",
                         help="worker hardware preset")
+
+
+def _add_search_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--search-backend", choices=SEARCH_BACKENDS,
+                        default="sequential",
+                        help="placement search backend (process = multicore)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker count for parallel search backends "
+                             "(default: one per core)")
+
+
+def _controller_config(args: argparse.Namespace) -> ControllerConfig:
+    return ControllerConfig(
+        search_backend=args.search_backend,
+        search_jobs=args.jobs,
+    )
 
 
 def cmd_queries(_args: argparse.Namespace) -> int:
@@ -84,6 +101,7 @@ def cmd_place(args: argparse.Namespace) -> int:
         strategy="caps" if strategy == "caps" else
         (FlinkDefaultStrategy(seed=args.seed) if strategy == "default"
          else FlinkEvenlyStrategy(seed=args.seed)),
+        config=_controller_config(args),
     )
     controller.profile()
     deployment = controller.deploy(
@@ -108,7 +126,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     preset = query_by_name(args.query)
     cluster = _cluster(args)
     rate = args.rate or preset.isolation_rate
-    controller = CAPSysController(preset.build(), cluster, strategy="caps")
+    controller = CAPSysController(
+        preset.build(), cluster, strategy="caps",
+        config=_controller_config(args),
+    )
     unit_costs = controller.profile()
     parallelism = controller.initial_parallelism(
         {op: rate for op in preset.build().sources()}
@@ -118,7 +139,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     rows = []
     for strategy in (
-        CapsStrategy(src_rates, unit_costs_provider=lambda p: unit_costs),
+        CapsStrategy(src_rates, unit_costs_provider=lambda p: unit_costs,
+                     backend=args.search_backend, jobs=args.jobs),
         FlinkDefaultStrategy(),
         FlinkEvenlyStrategy(),
     ):
@@ -159,7 +181,7 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
     controller = CAPSysController(
         graph, cluster,
         strategy="caps" if args.strategy == "caps" else FlinkDefaultStrategy(),
-        config=ControllerConfig(),
+        config=_controller_config(args),
     )
     result = controller.run_adaptive(
         {op: pattern for op in graph.sources()},
@@ -217,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=420.0)
     p.add_argument("--seed", type=int, default=0)
     _add_cluster_args(p)
+    _add_search_args(p)
     p.set_defaults(fn=cmd_place)
 
     p = sub.add_parser("compare", help="CAPS vs Flink baselines")
@@ -225,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=None)
     p.add_argument("--duration", type=float, default=420.0)
     _add_cluster_args(p)
+    _add_search_args(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("autoscale", help="adaptive DS2 + placement loop")
@@ -233,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=None)
     p.add_argument("--duration", type=float, default=2700.0)
     _add_cluster_args(p, workers=8)
+    _add_search_args(p)
     p.set_defaults(fn=cmd_autoscale)
 
     p = sub.add_parser("explore", help="enumerate the placement space")

@@ -51,6 +51,11 @@ class ControllerConfig:
     profiling_duration_s: float = 120.0
     autotune_timeout_s: float = 5.0
     search_timeout_s: float = 5.0
+    #: Placement-search backend: ``sequential``, ``thread``, or
+    #: ``process`` (true multicore; see repro.core.parallel_proc).
+    search_backend: str = "sequential"
+    #: Worker count for the parallel search backends (None: one per core).
+    search_jobs: Optional[int] = None
     seed: int = 0
     sim: SimulationConfig = field(default_factory=SimulationConfig)
 
@@ -215,6 +220,8 @@ class CAPSysController:
             return CapsStrategy(
                 source_rates=source_rates,
                 unit_costs_provider=lambda physical: unit_costs,
+                backend=self.config.search_backend,
+                jobs=self.config.search_jobs,
                 autotune_timeout_s=self.config.autotune_timeout_s,
                 search_timeout_s=self.config.search_timeout_s,
             )

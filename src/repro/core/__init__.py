@@ -10,6 +10,9 @@
 - :mod:`repro.core.pareto` -- pareto-front bookkeeping over cost vectors.
 - :mod:`repro.core.autotune` -- two-phase threshold auto-tuning (5.2).
 - :mod:`repro.core.parallel` -- thread-pool parallel search (5.1).
+- :mod:`repro.core.parallel_proc` -- multicore process-pool search.
+- :mod:`repro.core.search_reference` -- frozen pre-optimisation DFS
+  (equivalence baseline for tests and benchmarks).
 - :mod:`repro.core.greedy` -- LPT-style warm start seeding thresholds.
 - :mod:`repro.core.skew` -- skew-aware placement groups (5.2).
 """
@@ -23,6 +26,11 @@ from repro.core.greedy import greedy_balanced_plan, greedy_threshold_seed
 from repro.core.reorder import exploration_order
 from repro.core.skew import bucket_shares, skewed_task_costs, zipf_shares
 from repro.core.parallel import ParallelCapsSearch
+from repro.core.parallel_proc import (
+    SEARCH_BACKENDS,
+    ProcessCapsSearch,
+    run_search,
+)
 
 __all__ = [
     "PlacementPlan",
@@ -41,6 +49,9 @@ __all__ = [
     "greedy_balanced_plan",
     "greedy_threshold_seed",
     "ParallelCapsSearch",
+    "ProcessCapsSearch",
+    "SEARCH_BACKENDS",
+    "run_search",
     "zipf_shares",
     "bucket_shares",
     "skewed_task_costs",

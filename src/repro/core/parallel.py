@@ -7,95 +7,250 @@ When the search space has been fully explored, threads merge their
 results and return the pareto-optimal solution."
 
 We partition the search space by the first outer layer: the feasible
-assignments of the first operator's tasks are enumerated up front (with
-the same duplicate-elimination and load-bound rules as the sequential
-search) and dealt round-robin to worker threads. Each thread runs a full
-DFS beneath its seeds and maintains a private pareto front; fronts are
-merged at the end. For first-satisfying mode, a shared event cancels the
-remaining threads once any thread finds a plan.
+assignments of the first layer's tasks are enumerated up front by the
+sequential DFS itself (in *seed collector* mode, so node and prune
+counters for layer 0 accumulate exactly once) and dealt round-robin to
+workers. Each worker runs the full DFS beneath its seeds and maintains
+a private pareto front; fronts are merged deterministically at the end.
 
-Note: CPython's GIL serialises pure-Python execution, so wall-clock
-speedup is limited; the implementation preserves the paper's structure
-(and its work-partitioning semantics) rather than its constants.
+Stats semantics (shared by the thread and process backends, see
+:class:`repro.core.search.SearchStats`): for a run that explores its
+whole space, merged counters equal the sequential counters exactly —
+the seed enumeration accounts the first layer once and each partition
+accounts its subtrees. ``max_nodes``/``max_plans``/``timeout_s`` apply
+per partition.
+
+First-satisfying mode is deterministic: seeds carry their global
+first-layer enumeration index, a shared *beacon* records the lowest
+index that produced a plan, and a partition abandons a seed (or its
+in-flight subtree) only when the seed's index exceeds the beacon's.
+Because the plan under the lowest plan-bearing seed is exactly the one
+the sequential DFS would reach first, every backend returns the
+identical plan, reported as ``SearchStats.first_seed``.
+
+This module holds the shared machinery (seed enumeration, partitioning,
+per-partition execution, deterministic merging) plus the thread-pool
+driver. CPython's GIL serialises pure-Python threads, so the thread
+backend yields little wall-clock speedup; the process backend in
+:mod:`repro.core.parallel_proc` runs the same machinery on a
+``multiprocessing`` pool for true multicore scaling.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core.cost_model import CostModel, CostVector
+from repro.core.cost_model import CostVector
 from repro.core.pareto import ParetoFront
+from repro.core.plan import PlacementPlan
 from repro.core.search import (
     CapsSearch,
     SearchLimits,
     SearchResult,
     SearchStats,
-    _EPS,
     _StopSearch,
 )
+
+#: A first-layer seed: (global enumeration index, per-worker counts).
+IndexedSeed = Tuple[int, List[int]]
+
+
+@dataclass
+class SeedEnumeration:
+    """The first-layer seeds plus the DFS counters spent finding them."""
+
+    seeds: List[List[int]]
+    stats: SearchStats
+
+
+def enumerate_seeds(search: CapsSearch) -> SeedEnumeration:
+    """Enumerate feasible first-layer assignments via the DFS itself.
+
+    Runs the sequential inner search over layer 0 in collector mode:
+    the returned seeds appear in exactly the order the sequential DFS
+    would descend into them (which makes seed indices a deterministic
+    tiebreaker), and the returned stats carry the layer-0 node/prune
+    counters so parallel drivers can account them exactly once.
+    """
+    state = search.make_state(SearchLimits())
+    state.seed_collector = []
+    try:
+        state.descend_layer(0)
+    except _StopSearch:  # pragma: no cover - no limits are set
+        state.exhausted = False
+    return SeedEnumeration(seeds=state.seed_collector, stats=state.stats())
 
 
 def enumerate_layer_assignments(search: CapsSearch) -> List[List[int]]:
     """All feasible first-layer count vectors, duplicate-eliminated.
 
-    Mirrors the inner-search enumeration rules for layer 0 only: slot
-    capacities, non-increasing counts within worker equivalence groups,
-    and the cpu/io load bounds.
+    Back-compat wrapper around :func:`enumerate_seeds`, returning the
+    vectors only.
     """
-    layer = search.layers[0]
-    bounds = search.bounds
-    slots = [search.cost_model.cluster.slots_of(w) for w in search.worker_ids]
-    groups = search._spec_group
-    vectors: List[List[int]] = []
-    counts = [0] * len(slots)
+    return enumerate_seeds(search).seeds
 
-    def cap_from_bound(u: float, bound: float) -> int:
-        if u <= 0 or math.isinf(bound):
-            return layer.count
-        return int(math.floor((bound + _EPS) / u))
 
-    per_worker_cap = min(
-        cap_from_bound(layer.u_cpu, bounds["cpu"]),
-        cap_from_bound(layer.u_io, bounds["io"]),
+def partition_seeds(
+    seeds: Sequence[List[int]], partitions: int
+) -> List[List[IndexedSeed]]:
+    """Deal seeds round-robin, preserving their global indices."""
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    dealt: List[List[IndexedSeed]] = [[] for _ in range(partitions)]
+    for index, seed in enumerate(seeds):
+        dealt[index % partitions].append((index, list(seed)))
+    return [p for p in dealt if p]
+
+
+class SeedBeacon:
+    """Thread-shared record of the lowest seed index that found a plan."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._best: Optional[int] = None
+
+    def report(self, seed_index: int) -> None:
+        with self._lock:
+            if self._best is None or seed_index < self._best:
+                self._best = seed_index
+
+    def best(self) -> Optional[int]:
+        return self._best
+
+
+class _SeedCancel:
+    """stop_event adapter: cancel a state stuck above the beacon's best.
+
+    A partition deep inside seed ``i`` should keep searching while any
+    lower-indexed seed might still produce the deterministic winner, and
+    abandon its subtree as soon as a strictly lower seed has one.
+    """
+
+    def __init__(self, beacon, state) -> None:
+        self.beacon = beacon
+        self.state = state
+
+    def is_set(self) -> bool:
+        best = self.beacon.best()
+        if best is None:
+            return False
+        seed = self.state._seed_index
+        return seed is not None and best < seed
+
+
+@dataclass
+class PartitionResult:
+    """What one partition worker reports back to the driver."""
+
+    stats: SearchStats
+    front: ParetoFront
+    first_plan: Optional[Tuple[PlacementPlan, CostVector]] = None
+    first_seed: Optional[int] = None
+    all_plans: List[Tuple[CostVector, PlacementPlan]] = field(default_factory=list)
+
+
+def run_seed_partition(
+    search: CapsSearch,
+    limits: SearchLimits,
+    indexed_seeds: Sequence[IndexedSeed],
+    beacon=None,
+    stop_event=None,
+) -> PartitionResult:
+    """Run the DFS beneath one partition's seeds on a private state.
+
+    The shared core of both parallel backends: the thread driver calls
+    it directly, the process driver calls it inside pool workers. When
+    ``beacon`` is given (first-satisfying mode) the partition skips
+    seeds whose index exceeds the beacon's best and reports its own
+    find; ``stop_event`` is any extra ``is_set()`` cancellation source.
+    """
+    state = search.make_state(limits)
+    if beacon is not None:
+        state.stop_event = _SeedCancel(beacon, state)
+    elif stop_event is not None:
+        state.stop_event = stop_event
+    try:
+        for index, seed in indexed_seeds:
+            if beacon is not None:
+                best = beacon.best()
+                if best is not None and best < index:
+                    break
+            state.run_seed(index, seed)
+    except _StopSearch:
+        state.exhausted = False
+    if state.first_plan is not None and beacon is not None:
+        beacon.report(state.first_seed)
+    return PartitionResult(
+        stats=state.stats(),
+        front=state.front,
+        first_plan=state.first_plan,
+        first_seed=state.first_seed,
+        all_plans=state.all_plans,
     )
 
-    def place(position: int, remaining: int, last_in_group: Dict[int, int]) -> None:
-        if position == len(slots):
-            if remaining == 0:
-                vectors.append(list(counts))
-            return
-        group = groups[position]
-        ub = min(slots[position], remaining, per_worker_cap)
-        if group in last_in_group:
-            ub = min(ub, last_in_group[group])
-        for c in range(0, ub + 1):
-            absorb = 0
-            for later in range(position + 1, len(slots)):
-                cap = min(slots[later], per_worker_cap)
-                later_group = groups[later]
-                if later_group == group:
-                    cap = min(cap, c)
-                elif later_group in last_in_group:
-                    cap = min(cap, last_in_group[later_group])
-                absorb += cap
-            if c + absorb < remaining:
-                continue
-            counts[position] = c
-            prev = last_in_group.get(group)
-            last_in_group[group] = c
-            place(position + 1, remaining - c, last_in_group)
-            if prev is None:
-                del last_in_group[group]
-            else:
-                last_in_group[group] = prev
-            counts[position] = 0
 
-    place(0, layer.count, {})
-    return vectors
+def merge_partition_results(
+    search: CapsSearch,
+    enumeration: SeedEnumeration,
+    results: Sequence[PartitionResult],
+    duration_s: float,
+) -> SearchResult:
+    """Deterministically merge partition results into a SearchResult.
+
+    The merged stats are the enumeration's layer-0 counters plus every
+    partition's subtree counters; the first-satisfying winner is the
+    plan with the lowest ``first_seed`` (the plan the sequential DFS
+    would have found), independent of completion order.
+    """
+    stats = SearchStats(
+        nodes=enumeration.stats.nodes,
+        pruned_slots=enumeration.stats.pruned_slots,
+        pruned_cpu=enumeration.stats.pruned_cpu,
+        pruned_io=enumeration.stats.pruned_io,
+        pruned_net=enumeration.stats.pruned_net,
+        exhausted=enumeration.stats.exhausted,
+    )
+    front: ParetoFront = ParetoFront(capacity=search.pareto_capacity)
+    all_plans: List[Tuple[CostVector, PlacementPlan]] = []
+    first_hit: Optional[Tuple[PlacementPlan, CostVector]] = None
+    first_seed: Optional[int] = None
+    for result in results:
+        stats.add(result.stats)
+        front.merge(result.front)
+        all_plans.extend(result.all_plans)
+        if result.first_plan is not None and (
+            first_seed is None
+            or (result.first_seed is not None and result.first_seed < first_seed)
+        ):
+            first_hit = result.first_plan
+            first_seed = result.first_seed
+    stats.first_seed = first_seed
+    stats.partitions = max(1, len(results))
+    stats.duration_s = duration_s
+
+    best_plan: Optional[PlacementPlan] = None
+    best_cost: Optional[CostVector] = None
+    if first_hit is not None:
+        best_plan, best_cost = first_hit
+    best_entry = front.best(search.selection_weights)
+    if best_entry is not None:
+        best_cost, best_plan = best_entry
+    if best_plan is None and all_plans:
+        best_cost, best_plan = min(
+            all_plans,
+            key=lambda entry: entry[0].weighted_total(search.selection_weights),
+        )
+    return SearchResult(
+        best_plan=best_plan,
+        best_cost=best_cost,
+        pareto=front,
+        stats=stats,
+        all_plans=all_plans,
+    )
 
 
 class ParallelCapsSearch:
@@ -110,78 +265,30 @@ class ParallelCapsSearch:
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
         started = time.monotonic()
-        seeds = enumerate_layer_assignments(self.search)
-        if not seeds:
+        if not self.search.layers:
+            return self.search.run(limits)
+        enumeration = enumerate_seeds(self.search)
+        if not enumeration.seeds:
+            stats = enumeration.stats
+            stats.duration_s = time.monotonic() - started
             return SearchResult(
                 best_plan=None,
                 best_cost=None,
-                pareto=ParetoFront(),
-                stats=SearchStats(duration_s=time.monotonic() - started),
+                pareto=ParetoFront(capacity=self.search.pareto_capacity),
+                stats=stats,
             )
-        partitions: List[List[List[int]]] = [[] for _ in range(self.threads)]
-        for i, seed in enumerate(seeds):
-            partitions[i % self.threads].append(seed)
-        partitions = [p for p in partitions if p]
-
-        stop_event = threading.Event()
-        results: List[Tuple[ParetoFront, SearchStats, Optional[Tuple]]] = []
-
-        def worker(my_seeds: List[List[int]]):
-            state = self.search.make_state(limits)
-            state.stop_event = stop_event
-            layer = self.search.layers[0]
-            first: Optional[Tuple] = None
-            try:
-                for seed in my_seeds:
-                    # Apply layer-0 loads, then let the DFS continue below.
-                    for w, c in enumerate(seed):
-                        state.free[w] -= c
-                        state.load_cpu[w] += c * layer.u_cpu
-                        state.load_io[w] += c * layer.u_io
-                    try:
-                        state._on_layer_complete(0, layer, seed)
-                    finally:
-                        for w, c in enumerate(seed):
-                            state.free[w] += c
-                            state.load_cpu[w] -= c * layer.u_cpu
-                            state.load_io[w] -= c * layer.u_io
-            except _StopSearch:
-                state.stats.exhausted = False
-            if state.first_plan is not None:
-                first = state.first_plan
-                stop_event.set()
-            results.append((state.front, state.stats, first))
+        partitions = partition_seeds(enumeration.seeds, self.threads)
+        beacon = SeedBeacon() if limits.first_satisfying else None
 
         with ThreadPoolExecutor(max_workers=len(partitions)) as pool:
-            futures = [pool.submit(worker, part) for part in partitions]
-            for future in futures:
-                future.result()
+            futures = [
+                pool.submit(
+                    run_seed_partition, self.search, limits, part, beacon
+                )
+                for part in partitions
+            ]
+            results = [future.result() for future in futures]
 
-        merged_front: ParetoFront = ParetoFront(capacity=self.search.pareto_capacity)
-        merged_stats = SearchStats()
-        first_hit: Optional[Tuple] = None
-        for front, stats, first in results:
-            merged_front.merge(front)
-            merged_stats.nodes += stats.nodes
-            merged_stats.plans_found += stats.plans_found
-            merged_stats.pruned_slots += stats.pruned_slots
-            merged_stats.pruned_cpu += stats.pruned_cpu
-            merged_stats.pruned_io += stats.pruned_io
-            merged_stats.pruned_net += stats.pruned_net
-            merged_stats.exhausted = merged_stats.exhausted and stats.exhausted
-            if first is not None and first_hit is None:
-                first_hit = first
-        merged_stats.duration_s = time.monotonic() - started
-
-        best_plan = best_cost = None
-        if first_hit is not None:
-            best_plan, best_cost = first_hit
-        best_entry = merged_front.best(self.search.selection_weights)
-        if best_entry is not None:
-            best_cost, best_plan = best_entry
-        return SearchResult(
-            best_plan=best_plan,
-            best_cost=best_cost,
-            pareto=merged_front,
-            stats=merged_stats,
+        return merge_partition_results(
+            self.search, enumeration, results, time.monotonic() - started
         )

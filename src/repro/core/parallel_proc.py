@@ -1,0 +1,257 @@
+"""Process-based parallel placement search (true multicore CAPS).
+
+The paper's CAPS runs its search on a 20-thread Java pool; CPython
+threads serialise on the GIL, so the thread driver in
+:mod:`repro.core.parallel` preserves the paper's structure but not its
+speedup. This module runs the *same* partitioned search — identical
+seed enumeration, per-partition DFS, stats semantics, and deterministic
+merging — on a ``multiprocessing`` pool of real OS processes.
+
+Mechanics:
+
+- the driver enumerates first-layer seeds once (accounting their DFS
+  counters exactly once) and deals them round-robin to partitions, as
+  the thread driver does;
+- each pool worker rebuilds the :class:`CapsSearch` from a picklable
+  :class:`SearchSpec` (sent once per process via the pool initializer)
+  and runs :func:`repro.core.parallel.run_seed_partition` unchanged;
+- first-satisfying mode shares a lowest-winning-seed *beacon* through a
+  ``multiprocessing.Value``, giving the same deterministic
+  lowest-seed-wins plan selection as the thread backend;
+- partition results (stats, pareto front, plans) pickle back to the
+  driver, which merges them with the shared deterministic merge.
+
+With ``jobs=1`` (or a single non-empty partition) the driver runs the
+partition inline — no pool, no pickling — with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import CostModel, CostVector
+from repro.core.pareto import ParetoFront
+from repro.core.parallel import (
+    IndexedSeed,
+    ParallelCapsSearch,
+    PartitionResult,
+    SeedBeacon,
+    enumerate_seeds,
+    merge_partition_results,
+    partition_seeds,
+    run_seed_partition,
+)
+from repro.core.search import CapsSearch, OperatorKey, SearchLimits, SearchResult
+
+
+#: Recognised search backend names (see :func:`run_search`).
+SEARCH_BACKENDS = ("sequential", "thread", "process")
+
+
+def run_search(
+    search: CapsSearch,
+    limits: Optional[SearchLimits] = None,
+    backend: str = "sequential",
+    jobs: Optional[int] = None,
+) -> SearchResult:
+    """Run a configured search on the named backend.
+
+    The single dispatch point used by :class:`CapsStrategy`, the
+    controller, and the CLI: ``sequential`` runs the in-process DFS,
+    ``thread`` the GIL-bound thread pool (paper structure), ``process``
+    the multicore pool. ``jobs`` is the worker count for the parallel
+    backends (default: one per core).
+    """
+    if backend == "sequential":
+        return search.run(limits)
+    if backend == "thread":
+        return ParallelCapsSearch(search, threads=jobs or default_jobs()).run(limits)
+    if backend == "process":
+        return ProcessCapsSearch(search, jobs=jobs).run(limits)
+    raise ValueError(
+        f"unknown search backend {backend!r}; expected one of {SEARCH_BACKENDS}"
+    )
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Everything needed to rebuild a :class:`CapsSearch` in a child.
+
+    The exploration order is captured explicitly (not re-derived) so
+    every process builds byte-for-byte the same layer sequence, keeping
+    seed indices and duplicate-elimination decisions aligned across the
+    pool.
+    """
+
+    cost_model: CostModel
+    thresholds: CostVector
+    order: Tuple[OperatorKey, ...]
+    collect_pareto: bool
+    pareto_capacity: int
+    collect_all: bool
+    selection_weights: Optional[Dict[str, float]]
+
+    @classmethod
+    def from_search(cls, search: CapsSearch) -> "SearchSpec":
+        return cls(
+            cost_model=search.cost_model,
+            thresholds=search.thresholds,
+            order=tuple(search._order),
+            collect_pareto=search.collect_pareto,
+            pareto_capacity=search.pareto_capacity,
+            collect_all=search.collect_all,
+            selection_weights=(
+                dict(search.selection_weights)
+                if search.selection_weights
+                else None
+            ),
+        )
+
+    def build(self) -> CapsSearch:
+        return CapsSearch(
+            self.cost_model,
+            thresholds=self.thresholds,
+            order=list(self.order),
+            collect_pareto=self.collect_pareto,
+            pareto_capacity=self.pareto_capacity,
+            collect_all=self.collect_all,
+            selection_weights=self.selection_weights,
+        )
+
+
+class _ProcessBeacon:
+    """Cross-process lowest-winning-seed record (SeedBeacon protocol).
+
+    Backed by a shared ``multiprocessing.Value`` holding -1 for "no plan
+    yet". Reads are lock-free hints (stale reads only delay
+    cancellation, never change the deterministic merge); writes take the
+    value's lock to keep the minimum consistent.
+    """
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    def report(self, seed_index: int) -> None:
+        with self._value.get_lock():
+            if self._value.value < 0 or seed_index < self._value.value:
+                self._value.value = seed_index
+
+    def best(self) -> Optional[int]:
+        raw = self._value.value
+        return None if raw < 0 else raw
+
+
+# Per-process pool worker state, installed by _init_worker.
+_WORKER_SEARCH: Optional[CapsSearch] = None
+_WORKER_BEACON: Optional[_ProcessBeacon] = None
+
+
+def _init_worker(spec: SearchSpec, beacon_value) -> None:
+    global _WORKER_SEARCH, _WORKER_BEACON
+    _WORKER_SEARCH = spec.build()
+    _WORKER_BEACON = (
+        _ProcessBeacon(beacon_value) if beacon_value is not None else None
+    )
+
+
+def _run_partition(
+    task: Tuple[SearchLimits, List[IndexedSeed]]
+) -> PartitionResult:
+    limits, indexed_seeds = task
+    assert _WORKER_SEARCH is not None, "pool initializer did not run"
+    return run_seed_partition(
+        _WORKER_SEARCH, limits, indexed_seeds, beacon=_WORKER_BEACON
+    )
+
+
+def default_jobs() -> int:
+    """Default process count: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ProcessCapsSearch:
+    """Multiprocessing driver over a :class:`CapsSearch` configuration.
+
+    Args:
+        search: The configured search to parallelise.
+        jobs: Number of worker processes (default: one per core).
+        start_method: ``multiprocessing`` start method; ``fork`` (when
+            available) avoids re-importing the world in each child.
+    """
+
+    def __init__(
+        self,
+        search: CapsSearch,
+        jobs: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        jobs = default_jobs() if jobs is None else jobs
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.search = search
+        self.jobs = jobs
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+
+    def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
+        limits = limits or SearchLimits()
+        started = time.monotonic()
+        if not self.search.layers:
+            return self.search.run(limits)
+        enumeration = enumerate_seeds(self.search)
+        if not enumeration.seeds:
+            stats = enumeration.stats
+            stats.duration_s = time.monotonic() - started
+            return SearchResult(
+                best_plan=None,
+                best_cost=None,
+                pareto=ParetoFront(capacity=self.search.pareto_capacity),
+                stats=stats,
+            )
+        partitions = partition_seeds(enumeration.seeds, self.jobs)
+        if len(partitions) == 1:
+            results = self._run_inline(limits, partitions)
+        else:
+            results = self._run_pool(limits, partitions)
+        return merge_partition_results(
+            self.search, enumeration, results, time.monotonic() - started
+        )
+
+    def _run_inline(
+        self,
+        limits: SearchLimits,
+        partitions: Sequence[List[IndexedSeed]],
+    ) -> List[PartitionResult]:
+        beacon = SeedBeacon() if limits.first_satisfying else None
+        return [
+            run_seed_partition(self.search, limits, part, beacon=beacon)
+            for part in partitions
+        ]
+
+    def _run_pool(
+        self,
+        limits: SearchLimits,
+        partitions: Sequence[List[IndexedSeed]],
+    ) -> List[PartitionResult]:
+        ctx = mp.get_context(self.start_method)
+        beacon_value = (
+            ctx.Value("q", -1) if limits.first_satisfying else None
+        )
+        spec = SearchSpec.from_search(self.search)
+        pool = ctx.Pool(
+            processes=len(partitions),
+            initializer=_init_worker,
+            initargs=(spec, beacon_value),
+        )
+        try:
+            tasks = [(limits, part) for part in partitions]
+            return pool.map(_run_partition, tasks, chunksize=1)
+        finally:
+            pool.close()
+            pool.join()

@@ -32,6 +32,7 @@ from repro.core.plan import PlacementPlan
 from repro.core.search import CapsSearch, SearchLimits
 from repro.placement.base import PlacementStrategy
 from repro.simulator.engine import FluidSimulation, SimulationConfig
+from repro.simulator.plan_cache import CacheOption, simulate_cached
 from repro.simulator.results import JobSummary
 from repro.workloads.rates import RatePattern
 
@@ -88,18 +89,27 @@ def simulate_plan(
     warmup_s: float = 240.0,
     config: Optional[SimulationConfig] = None,
     network_cap_bytes_per_s: Optional[float] = None,
+    cache: CacheOption = "default",
 ) -> JobSummary:
-    """Simulate one (single-job) plan and return its summary."""
+    """Simulate one (single-job) plan and return its summary.
+
+    Identical inputs are served from the plan-evaluation cache (the
+    simulator is deterministic, so warm results are byte-identical);
+    pass ``cache=None`` to force a fresh simulation.
+    """
     physical = PhysicalGraph.expand(graph)
-    sim = FluidSimulation(
+    summary = simulate_cached(
         physical,
         cluster,
         plan,
         source_rate_map(graph, rate),
+        duration_s,
+        warmup_s,
         config=config,
         network_cap_bytes_per_s=network_cap_bytes_per_s,
+        cache=cache,
     )
-    return sim.run(duration_s, warmup_s=warmup_s).only
+    return summary.only
 
 
 def simulate_multi_job(
@@ -110,10 +120,17 @@ def simulate_multi_job(
     duration_s: float = 600.0,
     warmup_s: float = 240.0,
     config: Optional[SimulationConfig] = None,
+    cache: CacheOption = "default",
 ) -> Dict[str, JobSummary]:
-    """Simulate a merged multi-job deployment; summaries per job."""
-    sim = FluidSimulation(physical, cluster, plan, rates, config=config)
-    return sim.run(duration_s, warmup_s=warmup_s).jobs
+    """Simulate a merged multi-job deployment; summaries per job.
+
+    Cached like :func:`simulate_plan`; pass ``cache=None`` to disable.
+    """
+    summary = simulate_cached(
+        physical, cluster, plan, rates, duration_s, warmup_s,
+        config=config, cache=cache,
+    )
+    return summary.jobs
 
 
 def strategy_box_runs(
@@ -126,6 +143,7 @@ def strategy_box_runs(
     warmup_s: float = 240.0,
     config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
+    cache: CacheOption = "default",
 ) -> List[ExperimentRun]:
     """Repeat place-and-simulate ``runs`` times with varied seeds.
 
@@ -133,7 +151,10 @@ def strategy_box_runs(
     experiment 10 times and summarize the results in a box plot" to
     capture the variance of the randomised baselines. Deterministic
     strategies (CAPS) yield identical plans across runs, which is
-    exactly the stability the paper reports.
+    exactly the stability the paper reports — and which the
+    plan-evaluation cache exploits: runs that reproduce an
+    already-simulated plan are served from the cache instead of
+    re-simulated (pass ``cache=None`` to force fresh simulations).
     """
     physical = PhysicalGraph.expand(graph)
     results: List[ExperimentRun] = []
@@ -149,6 +170,7 @@ def strategy_box_runs(
             duration_s=duration_s,
             warmup_s=warmup_s,
             config=config,
+            cache=cache,
         )
         results.append(ExperimentRun(plan=plan, summaries={summary.job_id: summary}))
     return results

@@ -17,7 +17,7 @@ from repro.dataflow.physical import PhysicalGraph
 from repro.core.autotune import ThresholdAutoTuner
 from repro.core.greedy import greedy_balanced_plan, greedy_threshold_seed
 from repro.core.cost_model import CostModel, CostVector, TaskCosts
-from repro.core.parallel import ParallelCapsSearch
+from repro.core.parallel_proc import SEARCH_BACKENDS, run_search
 from repro.core.plan import PlacementPlan
 from repro.core.search import CapsSearch, SearchLimits
 from repro.placement.base import PlacementStrategy
@@ -35,7 +35,14 @@ class CapsStrategy(PlacementStrategy):
             are auto-tuned per placement problem (paper section 5.2).
         unit_costs_provider: Optional callable returning profiled unit
             costs for a physical graph; defaults to ground-truth specs.
-        threads: >1 enables the parallel search driver.
+        threads: >1 enables the thread-pool search driver (legacy knob;
+            prefer ``backend``/``jobs``).
+        backend: Search backend — ``sequential``, ``thread``, or
+            ``process`` (true multicore). Defaults to ``thread`` when
+            ``threads > 1``, else ``sequential``.
+        jobs: Worker count for the parallel backends (default:
+            ``threads`` for the thread backend, one per core for the
+            process backend).
         autotune_timeout_s: Budget for the auto-tuning phase.
         search_timeout_s: Budget for the final pareto search.
     """
@@ -48,6 +55,8 @@ class CapsStrategy(PlacementStrategy):
         thresholds: Optional[Union[CostVector, Mapping[str, float]]] = None,
         unit_costs_provider: Optional[Callable[[PhysicalGraph], Mapping]] = None,
         threads: int = 1,
+        backend: Optional[str] = None,
+        jobs: Optional[int] = None,
         autotune_timeout_s: float = 5.0,
         autotune_probe_timeout_s: float = 0.3,
         autotune_task_limit: int = 48,
@@ -58,6 +67,16 @@ class CapsStrategy(PlacementStrategy):
         self.thresholds = thresholds
         self.unit_costs_provider = unit_costs_provider
         self.threads = threads
+        if backend is None:
+            backend = "thread" if threads > 1 else "sequential"
+        if backend not in SEARCH_BACKENDS:
+            raise ValueError(
+                f"unknown search backend {backend!r}; expected one of {SEARCH_BACKENDS}"
+            )
+        self.backend = backend
+        if jobs is None and backend == "thread" and threads > 1:
+            jobs = threads
+        self.jobs = jobs
         self.autotune_timeout_s = autotune_timeout_s
         self.autotune_probe_timeout_s = autotune_probe_timeout_s
         self.autotune_task_limit = autotune_task_limit
@@ -136,10 +155,7 @@ class CapsStrategy(PlacementStrategy):
             selection_weights=weights,
         )
         limits = SearchLimits(timeout_s=self.search_timeout_s)
-        if self.threads > 1:
-            result = ParallelCapsSearch(search, threads=self.threads).run(limits)
-        else:
-            result = search.run(limits)
+        result = run_search(search, limits, backend=self.backend, jobs=self.jobs)
         self.last_search_stats = result.stats
         if (
             result.best_plan is not None

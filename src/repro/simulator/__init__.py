@@ -20,9 +20,19 @@ from repro.simulator.state_backend import DiskModel
 from repro.simulator.network import NicModel
 from repro.simulator.engine import FluidSimulation, SimulationConfig
 from repro.simulator.metrics import MetricsCollector, TaskRates
+from repro.simulator.plan_cache import (
+    DEFAULT_CACHE,
+    PlanEvaluationCache,
+    simulate_cached,
+    simulation_fingerprint,
+)
 from repro.simulator.results import JobSummary, SimulationSummary
 
 __all__ = [
+    "DEFAULT_CACHE",
+    "PlanEvaluationCache",
+    "simulate_cached",
+    "simulation_fingerprint",
     "ContentionConfig",
     "proportional_scale",
     "DiskModel",

@@ -1,0 +1,194 @@
+"""Three-backend equivalence and the process-pool search driver.
+
+The sequential DFS, the thread pool, and the multiprocessing pool all
+run path-pure load bookkeeping, so on the same instance they must agree
+*bit-exactly*: identical counters, identical pareto fronts (costs and
+plans), identical best cost, and in first-satisfying mode the identical
+winning seed and plan. These are stronger assertions than the
+reference-equivalence suite makes (see ``test_search_incremental.py``)
+because no float round-off separates the live backends.
+"""
+
+import pytest
+
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.core.parallel import ParallelCapsSearch
+from repro.core.parallel_proc import (
+    ProcessCapsSearch,
+    SEARCH_BACKENDS,
+    SearchSpec,
+    run_search,
+)
+from repro.core.search import CapsSearch, SearchLimits
+from repro.dataflow.cluster import Cluster, R5D_XLARGE
+from repro.dataflow.physical import PhysicalGraph
+from repro.workloads import q2_join, q3_inf
+
+
+def q3_model(source=2, decode=3, inference=4, sink=3, workers=6, slots=3):
+    graph = q3_inf(source, decode, inference, sink)
+    cluster = Cluster.homogeneous(R5D_XLARGE.with_slots(slots), count=workers)
+    physical = PhysicalGraph.expand(graph)
+    costs = TaskCosts.from_specs(physical, {("Q3-inf", "source"): 3000.0})
+    return CostModel(physical, cluster, costs)
+
+
+def q2_model(workers=5, slots=3):
+    graph = q2_join(2, 3, 4)
+    cluster = Cluster.homogeneous(R5D_XLARGE.with_slots(slots), count=workers)
+    physical = PhysicalGraph.expand(graph)
+    rates = {
+        ("Q2-join", "source_persons"): 1000.0,
+        ("Q2-join", "source_auctions"): 1000.0,
+    }
+    costs = TaskCosts.from_specs(physical, rates)
+    return CostModel(physical, cluster, costs)
+
+
+def stats_key(stats):
+    return (
+        stats.nodes,
+        stats.plans_found,
+        stats.pruned_slots,
+        stats.pruned_cpu,
+        stats.pruned_io,
+        stats.pruned_net,
+        stats.exhausted,
+    )
+
+
+def front_key(result):
+    """Bit-exact pareto front: float cost tuples plus assignments."""
+    return sorted(
+        (cost.as_tuple(), tuple(sorted(plan.assignment.items())))
+        for cost, plan in result.pareto.entries()
+    )
+
+
+def run_all_backends(make_model, limits=None, jobs=3, **search_kwargs):
+    results = {}
+    for backend in SEARCH_BACKENDS:
+        search = CapsSearch(make_model(), **search_kwargs)
+        results[backend] = run_search(
+            search, limits=limits, backend=backend, jobs=jobs
+        )
+    return results
+
+
+class TestThreeBackendEquivalence:
+    @pytest.mark.parametrize("thresholds", [None, {"cpu": 0.5}])
+    def test_q3_bit_exact(self, thresholds):
+        results = run_all_backends(
+            q3_model, thresholds=thresholds, reorder=True
+        )
+        seq = results["sequential"]
+        for backend in ("thread", "process"):
+            other = results[backend]
+            assert stats_key(other.stats) == stats_key(seq.stats), backend
+            assert front_key(other) == front_key(seq), backend
+            if seq.best_cost is None:
+                assert other.best_cost is None
+            else:
+                assert other.best_cost.as_tuple() == seq.best_cost.as_tuple()
+
+    def test_q2_bit_exact(self):
+        results = run_all_backends(q2_model, thresholds={"cpu": 0.5}, reorder=True)
+        seq = results["sequential"]
+        for backend in ("thread", "process"):
+            assert stats_key(results[backend].stats) == stats_key(seq.stats)
+            assert front_key(results[backend]) == front_key(seq)
+
+    def test_first_satisfying_deterministic(self):
+        limits = SearchLimits(first_satisfying=True)
+        results = run_all_backends(
+            q3_model, limits=limits, thresholds={"cpu": 0.5}, reorder=True
+        )
+        seq = results["sequential"]
+        assert seq.found
+        for backend in ("thread", "process"):
+            other = results[backend]
+            assert other.found, backend
+            assert other.best_plan.assignment == seq.best_plan.assignment
+            assert other.best_cost.as_tuple() == seq.best_cost.as_tuple()
+            assert other.stats.first_seed == seq.stats.first_seed
+
+    def test_collect_all_plan_multisets_match(self):
+        results = run_all_backends(
+            q3_model, collect_all=True, collect_pareto=False, reorder=True
+        )
+        seq_plans = sorted(
+            (cost.as_tuple(), tuple(sorted(plan.assignment.items())))
+            for cost, plan in results["sequential"].all_plans
+        )
+        for backend in ("thread", "process"):
+            plans = sorted(
+                (cost.as_tuple(), tuple(sorted(plan.assignment.items())))
+                for cost, plan in results[backend].all_plans
+            )
+            assert plans == seq_plans, backend
+
+
+class TestProcessDriver:
+    def test_jobs_one_runs_inline(self):
+        search = CapsSearch(q3_model(), reorder=True)
+        result = ProcessCapsSearch(search, jobs=1).run()
+        sequential = CapsSearch(q3_model(), reorder=True).run()
+        assert stats_key(result.stats) == stats_key(sequential.stats)
+        assert front_key(result) == front_key(sequential)
+        assert result.stats.partitions == 1
+
+    def test_partitions_reported(self):
+        search = CapsSearch(q3_model(), reorder=True)
+        result = ProcessCapsSearch(search, jobs=3).run()
+        assert result.stats.partitions > 1
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ProcessCapsSearch(CapsSearch(q3_model()), jobs=0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown search backend"):
+            run_search(CapsSearch(q3_model()), backend="gpu")
+
+    def test_run_search_dispatches_thread(self):
+        seq = run_search(CapsSearch(q3_model(), reorder=True))
+        thr = run_search(
+            CapsSearch(q3_model(), reorder=True), backend="thread", jobs=2
+        )
+        assert stats_key(thr.stats) == stats_key(seq.stats)
+
+    def test_max_plans_respected_per_partition(self):
+        limits = SearchLimits(max_plans=5)
+        search = CapsSearch(q3_model(), reorder=True)
+        result = ProcessCapsSearch(search, jobs=3).run(limits)
+        # each partition may find up to max_plans before stopping
+        assert result.stats.plans_found <= 5 * result.stats.partitions
+        assert not result.stats.exhausted
+
+
+class TestSearchSpec:
+    def test_round_trip_rebuilds_equivalent_search(self):
+        original = CapsSearch(
+            q3_model(),
+            thresholds={"cpu": 0.5, "io": 0.8},
+            reorder=True,
+            collect_pareto=True,
+            selection_weights={"cpu": 2.0, "io": 1.0, "net": 1.0},
+        )
+        rebuilt = SearchSpec.from_search(original).build()
+        assert rebuilt.thresholds == original.thresholds
+        assert rebuilt._order == original._order
+        assert rebuilt.collect_pareto == original.collect_pareto
+        assert rebuilt.selection_weights == original.selection_weights
+        a = original.run()
+        b = rebuilt.run()
+        assert stats_key(a.stats) == stats_key(b.stats)
+        assert front_key(a) == front_key(b)
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = SearchSpec.from_search(CapsSearch(q3_model(), reorder=True))
+        clone = pickle.loads(pickle.dumps(spec))
+        result = clone.build().run()
+        assert result.stats.nodes > 0

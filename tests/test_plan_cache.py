@@ -1,0 +1,223 @@
+"""The content-addressed plan-evaluation cache.
+
+Fingerprints must separate everything the simulator can observe
+(workload, placement up to worker renaming, cluster spec, rates,
+window, config) and collapse everything it cannot (worker ids); cached
+summaries must be byte-identical to fresh simulations and immune to
+caller mutation; unknown input types bypass the cache rather than
+break it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.plan import PlacementPlan
+from repro.dataflow.cluster import Cluster, WorkerSpec
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.simulator.engine import SimulationConfig
+from repro.simulator.plan_cache import (
+    PlanEvaluationCache,
+    resolve_cache,
+    simulate_cached,
+    simulation_fingerprint,
+)
+from repro.simulator.results import SimulationSummary
+from repro.workloads.rates import StepSchedule
+
+SPEC = WorkerSpec(
+    cpu_capacity=4.0, disk_bandwidth=1e8, network_bandwidth=1e9, slots=4
+)
+
+
+def small_deployment(workers=2):
+    g = LogicalGraph("job")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-4), 1)
+    g.add_operator(
+        OperatorSpec("map", cpu_per_record=2e-4, out_record_bytes=100.0), 2
+    )
+    g.add_edge("src", "map", Partitioning.HASH)
+    physical = PhysicalGraph.expand(g)
+    cluster = Cluster.homogeneous(SPEC, count=workers)
+    return physical, cluster
+
+
+def plan_on_worker(physical, worker_id):
+    return PlacementPlan({t.uid: worker_id for t in physical.tasks})
+
+
+RATES = {("job", "src"): 500.0}
+WINDOW = dict(duration_s=30.0, warmup_s=10.0)
+
+
+def fingerprint(physical, cluster, plan, rates=RATES, **kwargs):
+    merged = dict(WINDOW)
+    merged.update(kwargs)
+    return simulation_fingerprint(physical, cluster, plan, rates, **merged)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        assert fingerprint(physical, cluster, plan) == fingerprint(
+            physical, cluster, plan
+        )
+
+    def test_worker_renaming_collapses(self):
+        """Same task multiset on identically-specced workers: one key."""
+        physical, cluster = small_deployment()
+        on_first = plan_on_worker(physical, 0)
+        on_second = plan_on_worker(physical, 1)
+        assert fingerprint(physical, cluster, on_first) == fingerprint(
+            physical, cluster, on_second
+        )
+
+    def test_distinct_placements_separate(self):
+        physical, cluster = small_deployment()
+        packed = plan_on_worker(physical, 0)
+        tasks = list(physical.tasks)
+        spread = PlacementPlan(
+            {t.uid: i % 2 for i, t in enumerate(tasks)}
+        )
+        assert fingerprint(physical, cluster, packed) != fingerprint(
+            physical, cluster, spread
+        )
+
+    def test_cluster_spec_separates(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        bigger = Cluster.homogeneous(
+            dataclasses.replace(SPEC, cpu_capacity=8.0), count=2
+        )
+        assert fingerprint(physical, cluster, plan) != fingerprint(
+            physical, bigger, plan
+        )
+
+    def test_rates_window_and_config_separate(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        base = fingerprint(physical, cluster, plan)
+        assert base != fingerprint(
+            physical, cluster, plan, rates={("job", "src"): 600.0}
+        )
+        assert base != fingerprint(physical, cluster, plan, duration_s=60.0)
+        assert base != fingerprint(physical, cluster, plan, warmup_s=5.0)
+        assert base != fingerprint(
+            physical, cluster, plan, config=SimulationConfig(seed=99)
+        )
+        assert base != fingerprint(
+            physical, cluster, plan, network_cap_bytes_per_s=1e6
+        )
+
+    def test_rate_patterns_fingerprint(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        stepped = {
+            ("job", "src"): StepSchedule(steps=((0.0, 100.0), (10.0, 400.0)))
+        }
+        key = fingerprint(physical, cluster, plan, rates=stepped)
+        assert key is not None
+        assert key != fingerprint(physical, cluster, plan)
+
+    def test_uncacheable_input_yields_none(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+
+        class Opaque:
+            pass
+
+        key = fingerprint(
+            physical, cluster, plan, rates={("job", "src"): Opaque()}
+        )
+        assert key is None
+
+
+class TestCacheBehaviour:
+    def test_warm_hit_is_byte_identical(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        cache = PlanEvaluationCache()
+        cold = simulate_cached(
+            physical, cluster, plan, RATES, cache=cache, **WINDOW
+        )
+        warm = simulate_cached(
+            physical, cluster, plan, RATES, cache=cache, **WINDOW
+        )
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert warm.only == cold.only
+
+    def test_renamed_worker_plan_hits(self):
+        physical, cluster = small_deployment()
+        cache = PlanEvaluationCache()
+        first = simulate_cached(
+            physical, cluster, plan_on_worker(physical, 0), RATES,
+            cache=cache, **WINDOW
+        )
+        second = simulate_cached(
+            physical, cluster, plan_on_worker(physical, 1), RATES,
+            cache=cache, **WINDOW
+        )
+        assert cache.hits == 1
+        assert second.only == first.only
+
+    def test_cache_none_bypasses(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        a = simulate_cached(physical, cluster, plan, RATES, cache=None, **WINDOW)
+        b = simulate_cached(physical, cluster, plan, RATES, cache=None, **WINDOW)
+        assert a.only == b.only
+
+    def test_fetched_summary_is_a_copy(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        cache = PlanEvaluationCache()
+        first = simulate_cached(
+            physical, cluster, plan, RATES, cache=cache, **WINDOW
+        )
+        first.jobs.clear()
+        again = simulate_cached(
+            physical, cluster, plan, RATES, cache=cache, **WINDOW
+        )
+        assert again.jobs, "cache entry was corrupted by caller mutation"
+
+    def test_lru_eviction(self):
+        cache = PlanEvaluationCache(capacity=2)
+        summary = SimulationSummary(jobs={}, duration_s=1.0, warmup_s=0.0)
+        for key in ("a", "b", "c"):
+            cache.store(key, summary)
+        assert len(cache) == 2
+        assert cache.lookup("a") is None
+        assert cache.lookup("c") is not None
+
+    def test_lru_touch_on_lookup(self):
+        cache = PlanEvaluationCache(capacity=2)
+        summary = SimulationSummary(jobs={}, duration_s=1.0, warmup_s=0.0)
+        cache.store("a", summary)
+        cache.store("b", summary)
+        cache.lookup("a")  # refresh a; b becomes the eviction candidate
+        cache.store("c", summary)
+        assert cache.lookup("a") is not None
+        assert cache.lookup("b") is None
+
+    def test_none_fingerprint_is_a_no_op(self):
+        cache = PlanEvaluationCache()
+        summary = SimulationSummary(jobs={}, duration_s=1.0, warmup_s=0.0)
+        cache.store(None, summary)
+        assert len(cache) == 0
+        assert cache.lookup(None) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanEvaluationCache(capacity=0)
+
+    def test_resolve_cache_options(self):
+        explicit = PlanEvaluationCache()
+        assert resolve_cache(explicit) is explicit
+        assert resolve_cache(None) is None
+        assert resolve_cache("default") is not None
+        with pytest.raises(ValueError):
+            resolve_cache("bogus")

@@ -1,0 +1,191 @@
+"""Equivalence of the incremental DFS against the frozen reference.
+
+The optimised inner search (incremental per-worker loads, hoisted layer
+invariants, last-worker fast path) must explore exactly the tree the
+pre-optimisation implementation in ``repro.core.search_reference``
+explored: same node counts, same prune decisions, same plan sequence.
+
+Costs agree only approximately: the reference restores partial loads by
+subtraction, which leaves ``(x + c*u) - c*u`` round-off from previously
+explored siblings in later plan costs, while the optimised search
+restores by assignment and is path-pure. The discrepancy is ~1 ulp and
+can flip dominance among numerically-degenerate pareto entries, so the
+suite deliberately does *not* compare pareto fronts against the
+reference (the three live backends are compared bit-exactly against
+each other in ``test_parallel_proc.py``).
+"""
+
+import math
+
+import pytest
+
+from repro.core.cost_model import CostModel, TaskCosts
+from repro.core.search import CapsSearch, SearchLimits
+from repro.core.search_reference import ReferenceCapsSearch
+from repro.dataflow.cluster import Cluster, R5D_XLARGE, Worker, WorkerSpec
+from repro.dataflow.physical import PhysicalGraph
+from repro.workloads import q2_join, q3_inf
+
+
+def q3_model(source=2, decode=3, inference=4, sink=3, workers=6, slots=3):
+    graph = q3_inf(source, decode, inference, sink)
+    cluster = Cluster.homogeneous(R5D_XLARGE.with_slots(slots), count=workers)
+    physical = PhysicalGraph.expand(graph)
+    costs = TaskCosts.from_specs(physical, {("Q3-inf", "source"): 3000.0})
+    return CostModel(physical, cluster, costs)
+
+
+def q2_model(workers=5, slots=3):
+    graph = q2_join(2, 3, 4)
+    cluster = Cluster.homogeneous(R5D_XLARGE.with_slots(slots), count=workers)
+    physical = PhysicalGraph.expand(graph)
+    rates = {
+        ("Q2-join", "source_persons"): 1000.0,
+        ("Q2-join", "source_auctions"): 1000.0,
+    }
+    costs = TaskCosts.from_specs(physical, rates)
+    return CostModel(physical, cluster, costs)
+
+
+def stats_key(stats):
+    return (
+        stats.nodes,
+        stats.plans_found,
+        stats.pruned_slots,
+        stats.pruned_cpu,
+        stats.pruned_io,
+        stats.pruned_net,
+        stats.exhausted,
+    )
+
+
+def plan_sequence(result):
+    return [tuple(sorted(plan.assignment.items())) for _, plan in result.all_plans]
+
+
+ALPHA_CASES = [
+    None,
+    {"cpu": 0.5},
+    {"cpu": 0.3, "io": 0.4, "net": 0.5},
+]
+
+
+class TestCounterEquivalence:
+    @pytest.mark.parametrize("thresholds", ALPHA_CASES)
+    def test_q3_counters_match(self, thresholds):
+        model = q3_model()
+        ref = ReferenceCapsSearch(
+            model, thresholds=thresholds, reorder=True, collect_pareto=False
+        ).run()
+        opt = CapsSearch(
+            model, thresholds=thresholds, reorder=True, collect_pareto=False
+        ).run()
+        assert stats_key(opt.stats) == stats_key(ref.stats)
+
+    @pytest.mark.parametrize("thresholds", ALPHA_CASES)
+    def test_q2_counters_match(self, thresholds):
+        model = q2_model()
+        ref = ReferenceCapsSearch(
+            model, thresholds=thresholds, reorder=True, collect_pareto=False
+        ).run()
+        opt = CapsSearch(
+            model, thresholds=thresholds, reorder=True, collect_pareto=False
+        ).run()
+        assert stats_key(opt.stats) == stats_key(ref.stats)
+
+    def test_unordered_search_counters_match(self):
+        model = q3_model(2, 2, 3, 2, workers=4)
+        ref = ReferenceCapsSearch(model, reorder=False, collect_pareto=False).run()
+        opt = CapsSearch(model, reorder=False, collect_pareto=False).run()
+        assert stats_key(opt.stats) == stats_key(ref.stats)
+
+
+class TestLimitEquivalence:
+    def test_max_nodes_is_exact(self):
+        model = q3_model()
+        limits = SearchLimits(max_nodes=10)
+        ref = ReferenceCapsSearch(model, reorder=True).run(limits)
+        opt = CapsSearch(model, reorder=True).run(limits)
+        assert ref.stats.nodes == 10
+        assert opt.stats.nodes == 10
+        assert not opt.stats.exhausted
+
+    @pytest.mark.parametrize("max_nodes", [1, 137, 5000])
+    def test_max_nodes_sweep(self, max_nodes):
+        model = q2_model()
+        limits = SearchLimits(max_nodes=max_nodes)
+        ref = ReferenceCapsSearch(model, reorder=True).run(limits)
+        opt = CapsSearch(model, reorder=True).run(limits)
+        assert stats_key(opt.stats) == stats_key(ref.stats)
+
+    @pytest.mark.parametrize("max_plans", [1, 7, 38])
+    def test_max_plans_stops_identically(self, max_plans):
+        model = q3_model(2, 2, 3, 2, workers=4)
+        limits = SearchLimits(max_plans=max_plans)
+        ref = ReferenceCapsSearch(model, reorder=True, collect_all=True).run(limits)
+        opt = CapsSearch(model, reorder=True, collect_all=True).run(limits)
+        assert stats_key(opt.stats) == stats_key(ref.stats)
+        assert plan_sequence(opt) == plan_sequence(ref)
+
+    def test_first_satisfying_same_plan(self):
+        model = q3_model()
+        limits = SearchLimits(first_satisfying=True)
+        ref = ReferenceCapsSearch(model, thresholds={"cpu": 0.5}, reorder=True).run(
+            limits
+        )
+        opt = CapsSearch(model, thresholds={"cpu": 0.5}, reorder=True).run(limits)
+        assert ref.found and opt.found
+        assert opt.best_plan.assignment == ref.best_plan.assignment
+
+
+class TestPlanSequenceEquivalence:
+    """The DFS emits the identical plans in the identical order."""
+
+    def test_q2_all_plans_identical_costs_close(self):
+        model = q2_model()
+        ref = ReferenceCapsSearch(
+            model, reorder=True, collect_all=True, collect_pareto=False
+        ).run()
+        opt = CapsSearch(
+            model, reorder=True, collect_all=True, collect_pareto=False
+        ).run()
+        assert plan_sequence(opt) == plan_sequence(ref)
+        for (ref_cost, _), (opt_cost, _) in zip(ref.all_plans, opt.all_plans):
+            for a, b in zip(ref_cost.as_tuple(), opt_cost.as_tuple()):
+                assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+    def test_path_pure_costs_match_cost_model(self):
+        """Optimised costs equal a from-scratch evaluation of each plan.
+
+        This is the property the reference lacks (its costs depend on
+        exploration history); the incremental search must produce the
+        cost the model computes for the plan in isolation.
+        """
+        model = q2_model()
+        opt = CapsSearch(
+            model, reorder=True, collect_all=True, collect_pareto=False
+        ).run()
+        assert opt.all_plans
+        for cost, plan in opt.all_plans[:200]:
+            fresh = model.cost(plan)
+            assert cost.cpu == pytest.approx(fresh.cpu, abs=1e-12)
+            assert cost.io == pytest.approx(fresh.io, abs=1e-12)
+            assert cost.net == pytest.approx(fresh.net, abs=1e-12)
+
+    def test_heterogeneous_cluster_counters_match(self):
+        graph = q3_inf(2, 2, 3, 2)
+        big = WorkerSpec(
+            cpu_capacity=8.0, disk_bandwidth=2e8, network_bandwidth=1e9, slots=4
+        )
+        small = WorkerSpec(
+            cpu_capacity=4.0, disk_bandwidth=1e8, network_bandwidth=1e9, slots=3
+        )
+        cluster = Cluster(
+            [Worker(i, spec) for i, spec in enumerate([big, big, small, small])]
+        )
+        physical = PhysicalGraph.expand(graph)
+        costs = TaskCosts.from_specs(physical, {("Q3-inf", "source"): 3000.0})
+        model = CostModel(physical, cluster, costs)
+        ref = ReferenceCapsSearch(model, reorder=True, collect_pareto=False).run()
+        opt = CapsSearch(model, reorder=True, collect_pareto=False).run()
+        assert stats_key(opt.stats) == stats_key(ref.stats)
