@@ -1,0 +1,90 @@
+"""CLI driver: ``python -m repro.analysis``.
+
+Exit status is the CI contract: 0 when every finding is suppressed with
+a reason, 1 when unsuppressed findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import FAMILIES, default_root, run_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism & concurrency-safety static analysis over the "
+            "repro package (rule families: DET determinism, RACE "
+            "shared-state, KEY cache-key completeness, API hygiene)."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to scan (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="FAMILIES",
+        help=(
+            "comma-separated rule families to run, e.g. DET,RACE "
+            f"(default: all of {','.join(FAMILIES)})"
+        ),
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    families = None
+    if args.rules:
+        families = [token.strip().upper() for token in args.rules.split(",") if token.strip()]
+    try:
+        report = run_analysis(root=args.root, families=families)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        report.to_json()
+        if args.format == "json"
+        else report.to_text(show_suppressed=args.show_suppressed)
+    )
+    print(rendered)
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+    root = args.root if args.root is not None else default_root()
+    if report.exit_code:
+        print(
+            f"\nanalysis failed: {len(report.active)} unsuppressed "
+            f"finding(s) under {root}",
+            file=sys.stderr,
+        )
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""Import- and call-level reachability, computed conservatively.
+
+Two graphs back the rule families:
+
+- **Module import graph** (DET scope): which modules execute if you
+  import a given set of roots. Edges come from ``import``/``from``
+  statements; importing ``a.b.c`` also executes the ``a`` and ``a.b``
+  package ``__init__`` modules, so ancestors are edges too.
+- **Function call graph** (RACE scope): which functions can run on a
+  worker thread/process, starting from the configured worker entry
+  points. Calls are resolved *by simple name* — ``x.run_seed(...)``
+  reaches every function or method named ``run_seed`` anywhere in the
+  scanned tree. That over-approximates wildly on common names, which is
+  the right direction for a race checker: code incorrectly considered
+  reachable can only add findings, never hide one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.ast_utils import (
+    SourceFile,
+    import_aliases,
+    iter_function_defs,
+)
+
+
+# ----------------------------------------------------------------------
+# Module import graph
+# ----------------------------------------------------------------------
+def module_imports(source: SourceFile) -> Set[str]:
+    """Dotted module names a source file imports (absolute, best-effort)."""
+    imported: Set[str] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = source.module.split(".")
+                keep = max(0, len(parts) - node.level)
+                prefix = ".".join(parts[:keep])
+                base = f"{prefix}.{base}" if base and prefix else (prefix or base)
+            if base:
+                imported.add(base)
+                # ``from a.b import c`` may bind the submodule a.b.c.
+                for alias in node.names:
+                    if alias.name != "*":
+                        imported.add(f"{base}.{alias.name}")
+    return imported
+
+
+def _ancestors(module: str) -> List[str]:
+    parts = module.split(".")
+    return [".".join(parts[:i]) for i in range(1, len(parts))]
+
+
+def reachable_modules(
+    sources: Sequence[SourceFile], root_prefixes: Iterable[str]
+) -> Set[str]:
+    """Modules transitively executed by importing any root-prefixed module."""
+    known: Dict[str, SourceFile] = {s.module: s for s in sources}
+    imports: Dict[str, Set[str]] = {
+        s.module: module_imports(s) for s in sources
+    }
+    prefixes = tuple(root_prefixes)
+    queue = [
+        m
+        for m in known
+        if any(m == p or m.startswith(p + ".") for p in prefixes)
+    ]
+    seen: Set[str] = set()
+    while queue:
+        module = queue.pop()
+        if module in seen or module not in known:
+            continue
+        seen.add(module)
+        neighbours: Set[str] = set(_ancestors(module))
+        for imported in imports[module]:
+            neighbours.add(imported)
+            neighbours.update(_ancestors(imported))
+        queue.extend(n for n in neighbours if n in known and n not in seen)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# Function call graph
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionInfo:
+    """One function or method definition plus the names it calls."""
+
+    source: SourceFile
+    module: str
+    qualname: str
+    name: str
+    node: ast.AST
+    calls: Set[str] = field(default_factory=set)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.module, self.qualname)
+
+
+def _called_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Name):
+                names.add(func.id)
+            elif isinstance(func, ast.Attribute):
+                names.add(func.attr)
+    return names
+
+
+class CallGraph:
+    """Name-resolved conservative call graph over a set of sources."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.sources = list(sources)
+        self.functions: List[FunctionInfo] = []
+        self.by_key: Dict[Tuple[str, str], FunctionInfo] = {}
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        for source in self.sources:
+            for qualname, node in iter_function_defs(source.tree):
+                info = FunctionInfo(
+                    source=source,
+                    module=source.module,
+                    qualname=qualname,
+                    name=qualname.rsplit(".", 1)[-1],
+                    node=node,
+                    calls=_called_names(node),
+                )
+                self.functions.append(info)
+                self.by_key[info.key] = info
+                self.by_name.setdefault(info.name, []).append(info)
+        # Aliases let ``from x import f as g; g()`` reach f.
+        self._alias_targets: Dict[str, Set[str]] = {}
+        for source in self.sources:
+            for bound, origin in import_aliases(
+                source.tree, source.module
+            ).items():
+                tail = origin.rsplit(".", 1)[-1]
+                if bound != tail:
+                    self._alias_targets.setdefault(bound, set()).add(tail)
+
+    def resolve_entries(
+        self, entries: Iterable[Tuple[str, str]]
+    ) -> Tuple[List[FunctionInfo], List[Tuple[str, str]]]:
+        """Split configured entry points into (found, missing).
+
+        An entry whose *module* is absent from the scanned sources is
+        dropped silently (partial scans are legitimate); an entry whose
+        module is present but whose function is gone is reported missing
+        so configuration drift fails loudly.
+        """
+        modules = {s.module for s in self.sources}
+        found: List[FunctionInfo] = []
+        missing: List[Tuple[str, str]] = []
+        for module, qualname in entries:
+            if module not in modules:
+                continue
+            info = self.by_key.get((module, qualname))
+            if info is None:
+                missing.append((module, qualname))
+            else:
+                found.append(info)
+        return found, missing
+
+    def reachable_from(
+        self, entries: Sequence[FunctionInfo]
+    ) -> List[FunctionInfo]:
+        """Closure of entry functions under called-name resolution."""
+        seen: Set[Tuple[str, str]] = set()
+        order: List[FunctionInfo] = []
+        queue: List[FunctionInfo] = list(entries)
+        while queue:
+            info = queue.pop()
+            if info.key in seen:
+                continue
+            seen.add(info.key)
+            order.append(info)
+            names: Set[str] = set()
+            for called in info.calls:
+                names.add(called)
+                names.update(self._alias_targets.get(called, ()))
+            for name in names:
+                for target in self.by_name.get(name, ()):
+                    if target.key not in seen:
+                        queue.append(target)
+        order.sort(key=lambda f: (f.module, f.qualname))
+        return order

@@ -1,0 +1,211 @@
+"""Findings, suppression accounting, and report rendering.
+
+A :class:`Finding` is one rule violation anchored to a file and line.
+Findings are *suppressible* with an inline comment on the offending
+line (or the line directly above it)::
+
+    deadline = time.monotonic() + budget  # repro: allow[DET002] wall-clock budget is user-requested
+
+The bracket names either a full rule id (``DET002``) or a whole family
+(``DET``). Suppressions are themselves audited:
+
+- a suppression with no reason text is a ``SUP001`` finding (bare
+  suppressions defeat the point of recording *why* an invariant is
+  deliberately waived);
+- a suppression that matches no finding is a ``SUP002`` finding (stale
+  suppressions hide future regressions).
+
+``SUP`` findings are never suppressible, so the only way to a clean
+report is a reasoned, live suppression — or fixing the code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.ast_utils import SourceFile, Suppression
+
+#: Rule family of the suppression-audit findings.
+SUP_BARE = "SUP001"
+SUP_UNUSED = "SUP002"
+
+
+def rule_family(rule: str) -> str:
+    """``DET002`` -> ``DET``; a bare family name maps to itself."""
+    return rule.rstrip("0123456789")
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    @property
+    def family(self) -> str:
+        return rule_family(self.rule)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+
+def _matches(suppression: Suppression, finding: Finding) -> bool:
+    if suppression.path != finding.path:
+        return False
+    # A suppression covers its own line and the statement directly below
+    # it (comment-on-its-own-line style).
+    if finding.line not in (suppression.line, suppression.line + 1):
+        return False
+    return any(
+        token == finding.rule or token == finding.family
+        for token in suppression.rules
+    )
+
+
+@dataclass
+class Report:
+    """All findings of one analysis run, with suppression bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Unsuppressed findings — the ones that gate CI."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self, show_suppressed: bool = False) -> str:
+        lines: List[str] = []
+        for finding in sorted(
+            self.active, key=lambda f: (f.path, f.line, f.rule)
+        ):
+            lines.append(
+                f"{finding.location()}: {finding.rule}: {finding.message}"
+            )
+        if show_suppressed:
+            for finding in sorted(
+                self.suppressed, key=lambda f: (f.path, f.line, f.rule)
+            ):
+                reason = finding.suppression_reason or ""
+                lines.append(
+                    f"{finding.location()}: {finding.rule}: suppressed "
+                    f"({reason}): {finding.message}"
+                )
+        counts = self.counts_by_rule()
+        summary = ", ".join(f"{rule}={n}" for rule, n in counts.items())
+        lines.append(
+            f"{len(self.active)} finding(s) in {self.files_scanned} file(s)"
+            + (f" [{summary}]" if summary else "")
+            + f"; {len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        payload = {
+            "files_scanned": self.files_scanned,
+            "active": [f.to_dict() for f in self.active],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "counts_by_rule": self.counts_by_rule(),
+            "exit_code": self.exit_code,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def finalize(
+    findings: Sequence[Finding],
+    sources: Sequence[SourceFile],
+    families: Optional[Sequence[str]] = None,
+) -> Report:
+    """Apply suppressions and append the SUP audit findings.
+
+    Order matters: rule findings are matched against the source files'
+    suppressions first, then bare and unused suppressions are reported.
+    ``SUP`` findings cannot themselves be suppressed.
+
+    ``families`` names the rule families that actually ran; a
+    suppression for a family that did not run is *not* reported stale
+    (its staleness is unknowable on a partial run). ``None`` means all
+    families ran.
+    """
+    selected = set(families) if families is not None else None
+    suppressions: List[Suppression] = [
+        sup for source in sources for sup in source.suppressions
+    ]
+    for finding in findings:
+        for suppression in suppressions:
+            if _matches(suppression, finding):
+                suppression.used = True
+                finding.suppressed = True
+                finding.suppression_reason = suppression.reason or None
+                break
+
+    audit: List[Finding] = []
+    for suppression in suppressions:
+        if not suppression.reason:
+            audit.append(
+                Finding(
+                    rule=SUP_BARE,
+                    path=suppression.path,
+                    line=suppression.line,
+                    message=(
+                        "bare suppression "
+                        f"allow[{','.join(suppression.rules)}] carries no "
+                        "reason; record why the invariant is waived"
+                    ),
+                )
+            )
+        if not suppression.used:
+            if selected is not None and not any(
+                rule_family(token) in selected for token in suppression.rules
+            ):
+                continue  # that family did not run; staleness unknowable
+            audit.append(
+                Finding(
+                    rule=SUP_UNUSED,
+                    path=suppression.path,
+                    line=suppression.line,
+                    message=(
+                        "suppression "
+                        f"allow[{','.join(suppression.rules)}] matches no "
+                        "finding; remove it"
+                    ),
+                )
+            )
+
+    report = Report(findings=list(findings) + audit, files_scanned=len(sources))
+    return report

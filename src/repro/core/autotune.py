@@ -105,7 +105,7 @@ class ThresholdAutoTuner:
         self, thresholds: Mapping[str, float], deadline: float
     ) -> bool:
         """Whether any plan satisfies ``thresholds`` (first-plan probe)."""
-        remaining = deadline - time.monotonic()
+        remaining = deadline - time.monotonic()  # repro: allow[DET002] user-requested timeout budget (timeout_s)
         if remaining <= 0:
             raise _TimeoutSignal
         probe_timeout = remaining
@@ -149,7 +149,7 @@ class ThresholdAutoTuner:
     # ------------------------------------------------------------------
     def tune(self) -> AutoTuneResult:
         """Run both phases and return the minimum feasible vector."""
-        started = time.monotonic()
+        started = time.monotonic()  # repro: allow[DET002] anchors the user-requested timeout budget
         deadline = started + self.timeout_s
         iterations = 0
         timed_out = False
@@ -192,7 +192,7 @@ class ThresholdAutoTuner:
             thresholds=CostVector(**joint),
             phase1_minima=CostVector(**minima),
             iterations=iterations,
-            duration_s=time.monotonic() - started,
+            duration_s=time.monotonic() - started,  # repro: allow[DET002] telemetry only, never feeds tuning
             timed_out=timed_out,
         )
 

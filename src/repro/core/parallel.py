@@ -264,13 +264,13 @@ class ParallelCapsSearch:
 
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
-        started = time.monotonic()
+        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
         if not self.search.layers:
             return self.search.run(limits)
         enumeration = enumerate_seeds(self.search)
         if not enumeration.seeds:
             stats = enumeration.stats
-            stats.duration_s = time.monotonic() - started
+            stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
             return SearchResult(
                 best_plan=None,
                 best_cost=None,
@@ -290,5 +290,5 @@ class ParallelCapsSearch:
             results = [future.result() for future in futures]
 
         return merge_partition_results(
-            self.search, enumeration, results, time.monotonic() - started
+            self.search, enumeration, results, time.monotonic() - started  # repro: allow[DET002] telemetry only
         )

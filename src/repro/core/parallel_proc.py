@@ -152,7 +152,7 @@ _WORKER_BEACON: Optional[_ProcessBeacon] = None
 
 def _init_worker(spec: SearchSpec, beacon_value) -> None:
     global _WORKER_SEARCH, _WORKER_BEACON
-    _WORKER_SEARCH = spec.build()
+    _WORKER_SEARCH = spec.build()  # repro: allow[RACE001] per-process state set by the pool initializer before any task runs
     _WORKER_BEACON = (
         _ProcessBeacon(beacon_value) if beacon_value is not None else None
     )
@@ -201,13 +201,13 @@ class ProcessCapsSearch:
 
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
-        started = time.monotonic()
+        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
         if not self.search.layers:
             return self.search.run(limits)
         enumeration = enumerate_seeds(self.search)
         if not enumeration.seeds:
             stats = enumeration.stats
-            stats.duration_s = time.monotonic() - started
+            stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
             return SearchResult(
                 best_plan=None,
                 best_cost=None,
@@ -220,7 +220,7 @@ class ProcessCapsSearch:
         else:
             results = self._run_pool(limits, partitions)
         return merge_partition_results(
-            self.search, enumeration, results, time.monotonic() - started
+            self.search, enumeration, results, time.monotonic() - started  # repro: allow[DET002] telemetry only
         )
 
     def _run_inline(

@@ -363,13 +363,13 @@ class CapsSearch:
         """Execute the DFS and return the (pareto-)best satisfying plan."""
         limits = limits or SearchLimits()
         state = _SearchState(self, limits)
-        started = time.monotonic()
+        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
         try:
             state.descend_layer(0)
         except _StopSearch:
             state.exhausted = False
         stats = state.stats()
-        stats.duration_s = time.monotonic() - started
+        stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
 
         best_plan: Optional[PlacementPlan] = None
         best_cost: Optional[CostVector] = None
@@ -482,7 +482,7 @@ class _SearchState:
         self._undo_w: List[int] = [0] * (max_res * worker_count)
         self._undo_delta: List[float] = [0.0] * (max_res * worker_count)
         self._deadline = (
-            time.monotonic() + limits.timeout_s if limits.timeout_s else None
+            time.monotonic() + limits.timeout_s if limits.timeout_s else None  # repro: allow[DET002] user-requested timeout (SearchLimits.timeout_s)
         )
         self._node_tick = 0
         #: Optional cross-thread cancellation flag (any object with an
@@ -516,7 +516,7 @@ class _SearchState:
     def _check_deadline(self) -> None:
         """Slow-path limit check, every _DEADLINE_CHECK_INTERVAL nodes."""
         self._node_tick = 0
-        if self._deadline is not None and time.monotonic() > self._deadline:
+        if self._deadline is not None and time.monotonic() > self._deadline:  # repro: allow[DET002] user-requested timeout (SearchLimits.timeout_s)
             raise _StopSearch
         if self.stop_event is not None and self.stop_event.is_set():
             raise _StopSearch

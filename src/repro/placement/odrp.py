@@ -299,7 +299,7 @@ class OdrpSolver:
         upper = np.ones(n_vars)
         upper[R0:Z0] = float(K)  # r variables are general integers
 
-        started = time.monotonic()
+        started = time.monotonic()  # repro: allow[DET002] telemetry (decision_time_s), never feeds placement
         result = milp(
             c=c,
             constraints=LinearConstraint(np.vstack(rows), np.array(lbs), np.array(ubs)),
@@ -307,7 +307,7 @@ class OdrpSolver:
             bounds=Bounds(lower, upper),
             options={"time_limit": self.time_limit_s},
         )
-        decision_time = time.monotonic() - started
+        decision_time = time.monotonic() - started  # repro: allow[DET002] telemetry only
         if result.x is None:
             raise RuntimeError(f"ODRP MILP failed: {result.message}")
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Mapping, Optional, Tuple, Union
 
@@ -83,9 +84,17 @@ def _canon(obj: Any) -> Any:
 
 
 def _canon_physical(physical: PhysicalGraph) -> Any:
-    """The workload: tasks, channels, and per-task unit costs."""
+    """The workload: tasks, their operator cost profiles, and channels.
+
+    Each task is paired with its :class:`OperatorSpec` — two workloads
+    with identical topology but different per-tuple costs or selectivity
+    must not share a fingerprint.
+    """
     tasks = tuple(
-        sorted(_canon(task) for task in physical.tasks)
+        sorted(
+            (_canon(task), _canon(physical.spec_of(task)))
+            for task in physical.tasks
+        )
     )
     channels = tuple(
         sorted(_canon(channel) for channel in physical.channels)
@@ -151,44 +160,54 @@ def _copy_summary(summary: SimulationSummary) -> SimulationSummary:
 
 
 class PlanEvaluationCache:
-    """LRU map from simulation fingerprints to summaries."""
+    """LRU map from simulation fingerprints to summaries.
+
+    Thread-safe: the threaded search backend evaluates plans from a
+    worker pool, so every access to the LRU order and the hit/miss
+    counters happens under one internal lock.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, SimulationSummary]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, fingerprint: Optional[str]) -> Optional[SimulationSummary]:
         if fingerprint is None:
             return None
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(fingerprint)
-        self.hits += 1
-        return _copy_summary(entry)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return _copy_summary(entry)
 
     def store(
         self, fingerprint: Optional[str], summary: SimulationSummary
     ) -> None:
         if fingerprint is None:
             return
-        self._entries[fingerprint] = _copy_summary(summary)
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[fingerprint] = _copy_summary(summary)
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: Process-wide default cache, selected by passing ``cache="default"``

@@ -1,0 +1,7 @@
+"""Fixture modules for the ``repro.analysis`` rule tests.
+
+Each ``*_bad`` file triggers every rule of its family at least once;
+each ``*_clean`` file exercises the same shapes written correctly and
+must produce zero findings. The files are parsed by the analyzer, never
+imported, so they may reference modules (numpy) the environment lacks.
+"""

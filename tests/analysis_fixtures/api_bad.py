@@ -1,0 +1,25 @@
+"""API fixture: mutable defaults and swallowed exceptions."""
+
+
+def merge(extra, into=[]):  # API001: mutable default
+    into.extend(extra)
+    return into
+
+
+def tagged(value, tags=dict()):  # API001: mutable call default
+    tags[value] = True
+    return tags
+
+
+def safe_run(fn):
+    try:
+        return fn()
+    except:  # API002: bare except
+        return None
+
+
+def quiet(fn):
+    try:
+        return fn()
+    except ValueError:  # API002: handler swallows the error
+        pass

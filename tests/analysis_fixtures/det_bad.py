@@ -1,0 +1,33 @@
+"""DET fixture: every determinism rule fires at least once."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # DET001: hidden module-global RNG
+
+
+def shuffle_order(items):
+    np.random.shuffle(items)  # DET001: numpy legacy global RNG
+    return items
+
+
+def stamp():
+    return time.time()  # DET002: wall-clock read
+
+
+def first_task(tasks):
+    for task in {t.upper() for t in tasks}:  # DET003: set iteration
+        return task
+    return None
+
+
+def materialise(values):
+    return list({v for v in values})  # DET003: list() over a set
+
+
+def is_done(progress):
+    return progress == 0.9  # DET004: exact float equality

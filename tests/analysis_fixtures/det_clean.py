@@ -1,0 +1,35 @@
+"""DET fixture: the same shapes written deterministically — no findings."""
+
+import math
+import random
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = random.Random(seed)  # explicitly seeded: fine
+    return rng.random()
+
+
+def shuffle_order(items, seed):
+    rng = np.random.default_rng(seed)  # explicit generator: fine
+    rng.shuffle(items)
+    return items
+
+
+def first_task(tasks):
+    for task in sorted({t.upper() for t in tasks}):  # sorted: fine
+        return task
+    return None
+
+
+def total(values):
+    return sum({v for v in values})  # order-insensitive reduction: fine
+
+
+def is_done(progress):
+    return math.isclose(progress, 0.9)  # tolerance: fine
+
+
+def is_unset(progress):
+    return progress == 0.0  # exact sentinel: fine

@@ -1,0 +1,7 @@
+"""DET fixture: a deliberate clock read with a reasoned suppression."""
+
+import time
+
+
+def elapsed(started):
+    return time.monotonic() - started  # repro: allow[DET002] telemetry only, never feeds decisions

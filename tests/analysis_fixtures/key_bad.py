@@ -1,0 +1,36 @@
+"""KEY fixture: incomplete cache key, mirroring the plan-cache shape.
+
+``_canon_snapshot`` forgets ``rates`` (KEY001), ``simulate`` takes a
+``seed`` knob the fingerprint ignores (KEY002), and ``Workload`` is an
+unfrozen dataclass folded into the key (KEY003).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Workload:
+    name: str
+    cost: float
+
+
+class Snapshot:
+    def __init__(self, tasks, rates):
+        self._tasks = tuple(tasks)
+        self.rates = dict(rates)
+
+    @property
+    def tasks(self):
+        return self._tasks
+
+
+def _canon_snapshot(snapshot):
+    return ("snapshot", tuple(sorted(snapshot.tasks)))
+
+
+def fingerprint(snapshot, duration_s):
+    return hash((_canon_snapshot(snapshot), duration_s))
+
+
+def simulate(snapshot, duration_s, seed):
+    return (snapshot, duration_s, seed)

@@ -1,0 +1,35 @@
+"""KEY fixture: the same cache key written completely — no findings."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    cost: float
+
+
+class Snapshot:
+    def __init__(self, tasks, rates):
+        self._tasks = tuple(tasks)
+        self.rates = dict(rates)
+
+    @property
+    def tasks(self):
+        return self._tasks
+
+
+def _canon_snapshot(snapshot):
+    return (
+        "snapshot",
+        tuple(sorted(snapshot.tasks)),
+        tuple(sorted(snapshot.rates.items())),
+    )
+
+
+def fingerprint(snapshot, duration_s, seed):
+    return hash((_canon_snapshot(snapshot), duration_s, seed))
+
+
+def simulate(snapshot, duration_s, seed):
+    return (snapshot, duration_s, seed)

@@ -1,0 +1,34 @@
+"""RACE fixture: every shared-state rule fires at least once.
+
+``worker_main`` plays the role of a pool worker entry point; the test
+configures it as the call-graph root.
+"""
+
+import threading
+
+SHARED_RESULTS = []
+SHARED_STATE = {"best": None}
+TOTAL = 0
+
+
+def record(result):
+    SHARED_RESULTS.append(result)  # RACE003: mutator on module global
+    SHARED_STATE["best"] = result  # RACE002: item write through global
+
+
+def worker_main(partition):
+    global TOTAL
+    TOTAL += 1  # RACE001: global write without a lock
+    for item in partition:
+        record(item)
+
+
+class Tally:
+    """Declares a lock, then writes state outside it (RACE004)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1  # RACE004: write outside the class's own lock

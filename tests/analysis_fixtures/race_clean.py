@@ -1,0 +1,34 @@
+"""RACE fixture: the same shapes written safely — no findings."""
+
+import threading
+
+_LOCK = threading.Lock()
+SHARED_RESULTS = []
+TOTAL = 0
+
+
+def record(result):
+    with _LOCK:
+        SHARED_RESULTS.append(result)  # guarded: fine
+
+
+def worker_main(partition):
+    global TOTAL
+    scratch = []
+    for item in partition:
+        scratch.append(item)  # locally bound list: worker-private
+    with _LOCK:
+        TOTAL += len(scratch)  # guarded global write: fine
+    record(scratch)
+
+
+class Tally:
+    """Lock-bearing class with disciplined state access."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1  # guarded: fine

@@ -1,0 +1,11 @@
+"""SUP fixture: a bare suppression and a stale one."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow[DET002]
+
+
+# repro: allow[RACE] nothing here ever raced
+X = 1

@@ -1,0 +1,372 @@
+"""The ``repro.analysis`` static-analysis pass.
+
+Each rule family is exercised against a positive fixture (every rule
+fires) and a negative fixture (same shapes written correctly, zero
+findings), the suppression convention is audited end to end, and the
+repository's own tree must scan clean — the same gate CI runs.
+"""
+
+import ast
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_sources, default_root, run_analysis
+from repro.analysis.ast_utils import (
+    SourceFile,
+    extract_suppressions,
+    load_source,
+)
+from repro.analysis.callgraph import reachable_modules
+from repro.analysis.report import Finding, finalize
+from repro.analysis.rules_api import check_api
+from repro.analysis.rules_det import check_det
+from repro.analysis.rules_key import (
+    CanonCoverageSpec,
+    FrozenDataclassSpec,
+    KeySpec,
+    SignatureParitySpec,
+    check_key,
+)
+from repro.analysis.rules_race import check_race
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load(name):
+    return load_source(FIXTURES / f"{name}.py", module=name)
+
+
+def source_from_text(module, text):
+    relpath = f"{module}.py"
+    return SourceFile(
+        path=Path(relpath),
+        relpath=relpath,
+        module=module,
+        text=text,
+        tree=ast.parse(text),
+        suppressions=extract_suppressions(relpath, text),
+    )
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# DET
+# ----------------------------------------------------------------------
+class TestDetRules:
+    def test_positive_fixture_fires_every_rule(self):
+        findings = check_det([load("det_bad")], roots=None)
+        assert rules_of(findings) == {"DET001", "DET002", "DET003", "DET004"}
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        assert len(by_rule["DET001"]) == 2  # random.random + np.random.shuffle
+        assert len(by_rule["DET003"]) == 2  # for-over-set + list(set)
+
+    def test_negative_fixture_is_clean(self):
+        assert check_det([load("det_clean")], roots=None) == []
+
+    def test_scope_follows_import_reachability(self):
+        sim = source_from_text("pkg.sim", "import pkg.util\n")
+        util = source_from_text(
+            "pkg.util", "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        lone = source_from_text(
+            "pkg.lone", "import time\n\ndef stamp():\n    return time.time()\n"
+        )
+        sources = [sim, util, lone]
+        in_scope = check_det(sources, roots=("pkg.sim",))
+        assert {f.path for f in in_scope} == {"pkg.util.py"}
+        everything = check_det(sources, roots=("pkg",))
+        assert {f.path for f in everything} == {"pkg.util.py", "pkg.lone.py"}
+
+    def test_reachability_includes_package_ancestors(self):
+        init = source_from_text("pkg", "from pkg import helper\n")
+        helper = source_from_text("pkg.helper", "")
+        deep = source_from_text("pkg.sub.mod", "")
+        reached = reachable_modules([init, helper, deep], ("pkg.sub",))
+        # importing pkg.sub.mod executes pkg's __init__, which imports helper
+        assert reached == {"pkg", "pkg.helper", "pkg.sub.mod"}
+
+
+# ----------------------------------------------------------------------
+# RACE
+# ----------------------------------------------------------------------
+RACE_BAD_ENTRIES = (("race_bad", "worker_main"),)
+RACE_CLEAN_ENTRIES = (("race_clean", "worker_main"),)
+
+
+class TestRaceRules:
+    def test_positive_fixture_fires_every_rule(self):
+        findings = check_race([load("race_bad")], entries=RACE_BAD_ENTRIES)
+        assert rules_of(findings) == {
+            "RACE001",
+            "RACE002",
+            "RACE003",
+            "RACE004",
+        }
+
+    def test_negative_fixture_is_clean(self):
+        assert check_race([load("race_clean")], entries=RACE_CLEAN_ENTRIES) == []
+
+    def test_lock_discipline_applies_beyond_the_call_graph(self):
+        # Tally.bump is not reachable from worker_main; RACE004 still sees it.
+        findings = check_race([load("race_bad")], entries=RACE_BAD_ENTRIES)
+        lock_findings = [f for f in findings if f.rule == "RACE004"]
+        assert lock_findings
+        assert "Tally.bump" in lock_findings[0].message
+
+    def test_missing_entry_point_is_configuration_drift(self):
+        findings = check_race(
+            [load("race_clean")], entries=(("race_clean", "gone_worker"),)
+        )
+        assert rules_of(findings) == {"RACE000"}
+
+    def test_absent_module_is_silently_skipped(self):
+        # Partial scans are legitimate: an entry whose module is not in
+        # the scanned set is not drift.
+        findings = check_race(
+            [load("race_clean")],
+            entries=RACE_CLEAN_ENTRIES + (("other.module", "worker"),),
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# KEY
+# ----------------------------------------------------------------------
+def key_spec_for(module):
+    return KeySpec(
+        coverage=(
+            CanonCoverageSpec(
+                canon_module=module,
+                canon_func="_canon_snapshot",
+                target_module=module,
+                target_class="Snapshot",
+                param="snapshot",
+            ),
+        ),
+        parity=(
+            SignatureParitySpec(
+                fingerprint_module=module,
+                fingerprint_func="fingerprint",
+                target_module=module,
+                target_funcs=("simulate",),
+            ),
+        ),
+        frozen=(FrozenDataclassSpec(module=module, classes=("Workload",)),),
+    )
+
+
+class TestKeyRules:
+    def test_positive_fixture_fires_every_rule(self):
+        findings = check_key([load("key_bad")], spec=key_spec_for("key_bad"))
+        assert rules_of(findings) == {"KEY001", "KEY002", "KEY003"}
+        messages = {f.rule: f.message for f in findings}
+        assert "snapshot.rates" in messages["KEY001"]
+        assert "'seed'" in messages["KEY002"]
+        assert "Workload" in messages["KEY003"]
+
+    def test_negative_fixture_is_clean(self):
+        assert (
+            check_key([load("key_clean")], spec=key_spec_for("key_clean")) == []
+        )
+
+    def test_property_exposure_counts_as_coverage(self):
+        # _canon_snapshot reads snapshot.tasks, the property over
+        # self._tasks — KEY001 must not demand the private name.
+        findings = check_key([load("key_bad")], spec=key_spec_for("key_bad"))
+        assert not any("tasks" in f.message for f in findings)
+
+    def test_vanished_function_is_configuration_drift(self):
+        spec = KeySpec(
+            coverage=(
+                CanonCoverageSpec(
+                    canon_module="key_clean",
+                    canon_func="_canon_gone",
+                    target_module="key_clean",
+                    target_class="Snapshot",
+                    param="snapshot",
+                ),
+            )
+        )
+        findings = check_key([load("key_clean")], spec=spec)
+        assert rules_of(findings) == {"KEY000"}
+
+    def test_repo_spec_matches_the_tree(self):
+        # KEY000 on the real tree means DEFAULT_KEY_SPEC went stale.
+        sources_report = run_analysis(families=["KEY"])
+        assert sources_report.active == []
+
+
+# ----------------------------------------------------------------------
+# API
+# ----------------------------------------------------------------------
+class TestApiRules:
+    def test_positive_fixture_fires_every_rule(self):
+        findings = check_api([load("api_bad")])
+        assert rules_of(findings) == {"API001", "API002"}
+        assert sum(f.rule == "API001" for f in findings) == 2
+        assert sum(f.rule == "API002" for f in findings) == 2
+
+    def test_negative_fixture_is_clean(self):
+        assert check_api([load("api_clean")]) == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_reasoned_suppression_silences_the_finding(self):
+        source = load("det_suppressed")
+        report = finalize(check_det([source], roots=None), [source])
+        assert report.exit_code == 0
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].suppression_reason
+
+    def test_bare_and_stale_suppressions_are_findings(self):
+        source = load("sup_bad")
+        report = finalize(check_det([source], roots=None), [source])
+        assert rules_of(report.active) == {"SUP001", "SUP002"}
+        assert report.exit_code == 1
+
+    def test_family_token_matches_specific_rule(self):
+        source = source_from_text(
+            "fam",
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # repro: allow[DET] fixture clock\n",
+        )
+        report = finalize(check_det([source], roots=None), [source])
+        assert report.exit_code == 0
+
+    def test_comment_on_the_line_above_matches(self):
+        source = source_from_text(
+            "above",
+            "import time\n\n"
+            "def stamp():\n"
+            "    # repro: allow[DET002] fixture clock\n"
+            "    return time.time()\n",
+        )
+        report = finalize(check_det([source], roots=None), [source])
+        assert report.exit_code == 0
+
+    def test_docstring_text_is_not_a_suppression(self):
+        source = source_from_text(
+            "doc",
+            '"""Docs showing # repro: allow[DET002] the convention."""\n',
+        )
+        assert source.suppressions == []
+
+    def test_partial_run_does_not_report_other_families_stale(self):
+        # A RACE suppression cannot be judged stale by a DET-only run...
+        source = source_from_text(
+            "partial",
+            "X = 1  # repro: allow[RACE001] guarded elsewhere\n",
+        )
+        report = analyze_sources([source], families=["DET"], det_roots=None)
+        assert report.active == []
+        # ...but a full run does report it.
+        full = analyze_sources([source], det_roots=None)
+        assert rules_of(full.active) == {"SUP002"}
+
+    def test_wrong_rule_does_not_match(self):
+        source = source_from_text(
+            "wrong",
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # repro: allow[RACE001] mismatched\n",
+        )
+        report = finalize(check_det([source], roots=None), [source])
+        # The DET002 finding stays active and the suppression goes stale.
+        assert rules_of(report.active) == {"DET002", "SUP002"}
+
+
+# ----------------------------------------------------------------------
+# Report + driver
+# ----------------------------------------------------------------------
+class TestReportAndDriver:
+    def test_json_round_trip(self):
+        source = load("api_bad")
+        report = finalize(check_api([source]), [source])
+        payload = json.loads(report.to_json())
+        assert payload["exit_code"] == 1
+        assert payload["counts_by_rule"]["API001"] == 2
+        assert all(
+            {"rule", "path", "line", "message"} <= set(entry)
+            for entry in payload["active"]
+        )
+
+    def test_text_report_mentions_locations_and_counts(self):
+        source = load("api_bad")
+        report = finalize(check_api([source]), [source])
+        text = report.to_text()
+        assert "api_bad.py" in text
+        assert "API001=2" in text
+
+    def test_unknown_family_is_a_usage_error(self):
+        with pytest.raises(ValueError):
+            analyze_sources([], families=["NOPE"])
+
+    def test_family_selection_runs_only_that_family(self):
+        source = load("api_bad")
+        report = analyze_sources([source], families=["DET"], det_roots=None)
+        assert report.active == []
+
+    def test_full_repo_scan_is_clean(self):
+        """The CI gate: the tree itself must analyze clean."""
+        report = run_analysis()
+        assert report.exit_code == 0, report.to_text()
+        # Every deliberate waiver must say why.
+        assert all(f.suppression_reason for f in report.suppressed)
+        assert report.files_scanned > 50
+
+    def test_cli_json_exit_zero_on_the_repo(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--format", "json"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["exit_code"] == 0
+        assert payload["active"] == []
+
+    def test_cli_fails_on_fixture_tree(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis",
+                "--root",
+                str(FIXTURES),
+                "--format",
+                "json",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        # DET/RACE/KEY are scoped to repro modules, but the API rules and
+        # the suppression audit still see the fixture files.
+        assert payload["counts_by_rule"]["API001"] == 2
+
+    def test_default_root_is_the_repro_package(self):
+        assert default_root().name == "repro"

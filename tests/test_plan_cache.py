@@ -221,3 +221,143 @@ class TestCacheBehaviour:
         assert resolve_cache("default") is not None
         with pytest.raises(ValueError):
             resolve_cache("bogus")
+
+
+def deployment_with_map_spec(**overrides):
+    """Same topology as small_deployment, with the map operator altered."""
+    g = LogicalGraph("job")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-4), 1)
+    base = OperatorSpec("map", cpu_per_record=2e-4, out_record_bytes=100.0)
+    g.add_operator(dataclasses.replace(base, **overrides), 2)
+    g.add_edge("src", "map", Partitioning.HASH)
+    return PhysicalGraph.expand(g), Cluster.homogeneous(SPEC, count=2)
+
+
+def perturbed(value):
+    """A same-typed value guaranteed to differ from ``value``."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value * 2 + 1.0
+    if isinstance(value, str):
+        return value + "_x"
+    if dataclasses.is_dataclass(value):
+        first = dataclasses.fields(value)[0]
+        return dataclasses.replace(
+            value, **{first.name: perturbed(getattr(value, first.name))}
+        )
+    raise NotImplementedError(f"no perturbation for {type(value).__name__}")
+
+
+class TestFingerprintFieldCoverage:
+    """Every field of every key-relevant dataclass must move the key.
+
+    Regression guard for the class of bug the KEY analysis rules target:
+    a field the fingerprint silently ignores makes two semantically
+    different simulations collide in the cache.
+    """
+
+    def test_operator_costs_separate(self):
+        """Identical topology, different per-record cost: distinct keys.
+
+        This collided before the fingerprint folded OperatorSpec in —
+        a CAPS sweep over recalibrated costs would have returned the
+        first calibration's summaries for every variant.
+        """
+        cheap_physical, cluster = deployment_with_map_spec()
+        costly_physical, _ = deployment_with_map_spec(cpu_per_record=8e-4)
+        cheap = fingerprint(cheap_physical, cluster, plan_on_worker(cheap_physical, 0))
+        costly = fingerprint(costly_physical, cluster, plan_on_worker(costly_physical, 0))
+        assert cheap != costly
+
+    @pytest.mark.parametrize(
+        "field_name",
+        [
+            f.name
+            for f in dataclasses.fields(OperatorSpec)
+            if f.name not in ("name", "is_source", "gc_spike")
+        ],
+    )
+    def test_every_operator_spec_field_moves_the_key(self, field_name):
+        physical, cluster = deployment_with_map_spec()
+        base = fingerprint(physical, cluster, plan_on_worker(physical, 0))
+        map_spec = OperatorSpec(
+            "map", cpu_per_record=2e-4, out_record_bytes=100.0
+        )
+        changed_value = perturbed(getattr(map_spec, field_name))
+        altered, _ = deployment_with_map_spec(**{field_name: changed_value})
+        other = fingerprint(altered, cluster, plan_on_worker(altered, 0))
+        assert base != other, f"OperatorSpec.{field_name} is not in the key"
+
+    def test_gc_spike_profile_moves_the_key(self):
+        from repro.dataflow.graph import GcSpikeProfile
+
+        physical, cluster = deployment_with_map_spec()
+        base = fingerprint(physical, cluster, plan_on_worker(physical, 0))
+        spiky, _ = deployment_with_map_spec(gc_spike=GcSpikeProfile())
+        slower, _ = deployment_with_map_spec(
+            gc_spike=GcSpikeProfile(period_s=60.0)
+        )
+        keys = {
+            base,
+            fingerprint(spiky, cluster, plan_on_worker(spiky, 0)),
+            fingerprint(slower, cluster, plan_on_worker(slower, 0)),
+        }
+        assert len(keys) == 3
+
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(WorkerSpec)]
+    )
+    def test_every_worker_spec_field_moves_the_key(self, field_name):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        base = fingerprint(physical, cluster, plan)
+        altered_spec = dataclasses.replace(
+            SPEC, **{field_name: perturbed(getattr(SPEC, field_name))}
+        )
+        altered = Cluster.homogeneous(altered_spec, count=2)
+        assert base != fingerprint(physical, altered, plan), (
+            f"WorkerSpec.{field_name} is not in the key"
+        )
+
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(SimulationConfig)]
+    )
+    def test_every_simulation_config_field_moves_the_key(self, field_name):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        base = fingerprint(physical, cluster, plan)
+        default = SimulationConfig()
+        altered = dataclasses.replace(
+            default, **{field_name: perturbed(getattr(default, field_name))}
+        )
+        assert base != fingerprint(physical, cluster, plan, config=altered), (
+            f"SimulationConfig.{field_name} is not in the key"
+        )
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_store_and_lookup_keep_counters_consistent(self):
+        import threading
+
+        cache = PlanEvaluationCache(capacity=8)
+        summary = SimulationSummary(jobs={}, duration_s=1.0, warmup_s=0.0)
+        rounds = 300
+
+        def worker(tag):
+            for i in range(rounds):
+                key = f"{tag}-{i % 16}"
+                if cache.lookup(key) is None:
+                    cache.store(key, summary)
+
+        threads = [
+            threading.Thread(target=worker, args=(t % 2,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == 4 * rounds
