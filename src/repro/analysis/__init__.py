@@ -45,7 +45,11 @@ from typing import Iterable, List, Optional, Sequence
 from repro.analysis.ast_utils import SourceFile, load_package, load_source
 from repro.analysis.report import Finding, Report, finalize
 from repro.analysis.rules_api import check_api
-from repro.analysis.rules_det import DEFAULT_DET_ROOTS, check_det
+from repro.analysis.rules_det import (
+    DEFAULT_DET_ROOTS,
+    SANCTIONED_CLOCK_MODULES,
+    check_det,
+)
 from repro.analysis.rules_key import DEFAULT_KEY_SPEC, KeySpec, check_key
 from repro.analysis.rules_race import DEFAULT_RACE_ENTRIES, check_race
 
@@ -114,4 +118,5 @@ __all__ = [
     "DEFAULT_DET_ROOTS",
     "DEFAULT_KEY_SPEC",
     "DEFAULT_RACE_ENTRIES",
+    "SANCTIONED_CLOCK_MODULES",
 ]

@@ -13,9 +13,15 @@ that property, in every module reachable (by import) from the
   ``numpy.random.default_rng(seed)``) keep runs reproducible.
 - **DET002** — wall-clock reads (``time.time``, ``time.monotonic``,
   ``time.perf_counter``, ``datetime.now`` …). Telemetry and
-  user-requested timeouts are legitimate — suppress those sites with a
-  reasoned ``# repro: allow[DET002]`` — but an unannotated clock read in
-  simulation-reachable code is a determinism hazard.
+  user-requested timeouts are legitimate, but they must go through the
+  *sanctioned clock accessors* of :mod:`repro.observability.clock`: the
+  modules named in :data:`SANCTIONED_CLOCK_MODULES` are the only
+  simulation-reachable code allowed to touch the raw clock (the rule
+  skips them), and calls resolving to their accessors are not clock
+  calls, so call sites need no waivers. A raw, unannotated clock read
+  anywhere else in simulation-reachable code is a determinism hazard;
+  a reasoned ``# repro: allow[DET002]`` remains the escape hatch for
+  sites that genuinely cannot use the accessor.
 - **DET003** — iteration over ``set``/``frozenset`` expressions. With
   string hash randomisation, set order changes across *processes*, so
   any plan or cost decision fed by set iteration diverges between the
@@ -45,6 +51,13 @@ DET_FLOAT_EQ = "DET004"
 
 #: Module prefixes whose import closure is the determinism-critical code.
 DEFAULT_DET_ROOTS = ("repro.simulator", "repro.core")
+
+#: Modules allowed to read the raw wall clock: the audited telemetry
+#: accessors every other module must go through. DET002 is skipped
+#: inside these modules; everywhere else a clock read through them
+#: resolves to ``repro.observability.clock.*`` (not a raw clock call)
+#: and is clean by construction.
+SANCTIONED_CLOCK_MODULES = ("repro.observability.clock",)
 
 #: ``random`` attributes that do *not* touch the hidden global generator.
 _SEEDED_RANDOM_OK = {
@@ -128,9 +141,15 @@ def _nonintegral_float(node: ast.AST) -> bool:
 
 
 class _DetVisitor(ast.NodeVisitor):
-    def __init__(self, source: SourceFile, findings: List[Finding]) -> None:
+    def __init__(
+        self,
+        source: SourceFile,
+        findings: List[Finding],
+        allow_clock: bool = False,
+    ) -> None:
         self.source = source
         self.findings = findings
+        self.allow_clock = allow_clock
         self.aliases = import_aliases(source.tree, source.module)
 
     # -- DET001 / DET002 -----------------------------------------------
@@ -158,14 +177,14 @@ class _DetVisitor(ast.NodeVisitor):
                     f"call to {name}() uses numpy's legacy global RNG; "
                     "use numpy.random.default_rng(seed)",
                 )
-            elif name in _CLOCK_CALLS:
+            elif name in _CLOCK_CALLS and not self.allow_clock:
                 self._report(
                     DET_CLOCK,
                     node,
                     f"wall-clock read {name}() in simulation-reachable "
                     "code; results must not depend on real time "
-                    "(suppress with a reason if this is telemetry or a "
-                    "user-requested timeout)",
+                    "(telemetry and timeouts go through the sanctioned "
+                    "repro.observability.clock accessors)",
                 )
             elif (
                 name in ("list", "tuple", "enumerate")
@@ -239,18 +258,25 @@ class _DetVisitor(ast.NodeVisitor):
 def check_det(
     sources: Sequence[SourceFile],
     roots: Optional[Iterable[str]] = None,
+    clock_modules: Iterable[str] = SANCTIONED_CLOCK_MODULES,
 ) -> List[Finding]:
     """Run the DET rules over modules import-reachable from ``roots``.
 
     With ``roots=None`` every given source is in scope (fixture mode).
+    ``clock_modules`` names the sanctioned clock-accessor modules whose
+    raw clock reads are exempt from DET002 (parameterised so fixture
+    tests can exercise the carve-out).
     """
     if roots is None:
         scope: Set[str] = {s.module for s in sources}
     else:
         scope = reachable_modules(sources, roots)
+    sanctioned = set(clock_modules)
     findings: List[Finding] = []
     for source in sources:
         if source.module not in scope:
             continue
-        _DetVisitor(source, findings).visit(source.tree)
+        _DetVisitor(
+            source, findings, allow_clock=source.module in sanctioned
+        ).visit(source.tree)
     return findings

@@ -127,6 +127,10 @@ DEFAULT_KEY_SPEC = KeySpec(
             target_module="repro.simulator.engine",
             target_funcs=("FluidSimulation.__init__", "FluidSimulation.run"),
             alias={"source_rates": "rates"},
+            # Observability sinks record the simulation; they never feed
+            # back into it, so fingerprint collisions across tracer or
+            # registry values are correct (same dynamics, same summary).
+            ignore=("self", "tracer", "registry"),
         ),
     ),
     frozen=(

@@ -33,7 +33,9 @@ from repro.experiments import enumerate_all_plans
 from repro.experiments.figures import convergence_timeline_rows
 from repro.experiments.reporting import box_stats, format_percent, format_table
 from repro.experiments.runner import simulate_plan, strategy_box_runs
+from repro.observability import MetricRegistry, Tracer
 from repro.placement import CapsStrategy, FlinkDefaultStrategy, FlinkEvenlyStrategy
+from repro.simulator.plan_cache import DEFAULT_CACHE
 from repro.workloads import ALL_QUERIES, query_by_name
 from repro.workloads.rates import SquareWaveRate
 
@@ -68,6 +70,51 @@ def _controller_config(args: argparse.Namespace) -> ControllerConfig:
     )
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a structured trace of the run")
+    parser.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                        default="jsonl",
+                        help="trace file format (chrome loads in "
+                             "about://tracing)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write a metric snapshot (.prom suffix for "
+                             "Prometheus text exposition, JSON otherwise)")
+
+
+def _observability(
+    args: argparse.Namespace, run_id: str
+) -> tuple:
+    """Build the (tracer, registry) pair the flags ask for.
+
+    The run id is derived from the command and query — never from a
+    clock or uuid — so two identically-parameterised runs produce
+    byte-identical sim-domain trace streams.
+    """
+    tracer = Tracer(run_id=run_id) if args.trace else None
+    registry = MetricRegistry() if args.metrics_out else None
+    return tracer, registry
+
+
+def _write_observability(
+    args: argparse.Namespace,
+    tracer: Optional[Tracer],
+    registry: Optional[MetricRegistry],
+) -> None:
+    if tracer is not None:
+        if args.trace_format == "chrome":
+            tracer.write_chrome(args.trace)
+        else:
+            tracer.write_jsonl(args.trace)
+        print(f"trace: {args.trace} ({len(tracer.records)} records)")
+    if registry is not None:
+        if args.metrics_out.endswith(".prom"):
+            registry.write_prometheus(args.metrics_out)
+        else:
+            registry.write_json(args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+
+
 def cmd_queries(_args: argparse.Namespace) -> int:
     rows = []
     for preset in ALL_QUERIES:
@@ -96,12 +143,15 @@ def cmd_place(args: argparse.Namespace) -> int:
     cluster = _cluster(args)
     rate = args.rate or preset.isolation_rate
     strategy = args.strategy
+    tracer, registry = _observability(args, f"place/{args.query}")
     controller = CAPSysController(
         preset.build(), cluster,
         strategy="caps" if strategy == "caps" else
         (FlinkDefaultStrategy(seed=args.seed) if strategy == "default"
          else FlinkEvenlyStrategy(seed=args.seed)),
         config=_controller_config(args),
+        tracer=tracer,
+        registry=registry,
     )
     controller.profile()
     deployment = controller.deploy(
@@ -119,6 +169,7 @@ def cmd_place(args: argparse.Namespace) -> int:
         f"backpressure {format_percent(summary.backpressure)}, "
         f"latency {summary.latency_s:.2f} s"
     )
+    _write_observability(args, tracer, registry)
     return 0 if summary.meets_target() else 1
 
 
@@ -137,10 +188,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     graph = preset.build().with_parallelism(parallelism)
     src_rates = {(graph.job_id, op): rate for op in graph.sources()}
 
+    tracer, registry = _observability(args, f"compare/{args.query}")
+    if registry is not None:
+        DEFAULT_CACHE.bind_registry(registry)
     rows = []
     for strategy in (
         CapsStrategy(src_rates, unit_costs_provider=lambda p: unit_costs,
-                     backend=args.search_backend, jobs=args.jobs),
+                     backend=args.search_backend, jobs=args.jobs,
+                     tracer=tracer, registry=registry),
         FlinkDefaultStrategy(),
         FlinkEvenlyStrategy(),
     ):
@@ -148,6 +203,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             graph, cluster, strategy, rate,
             runs=args.runs, duration_s=args.duration,
             warmup_s=args.duration * 0.4,
+            tracer=tracer,
         )
         thpt = box_stats([r.only.throughput for r in runs])
         bp = box_stats([r.only.backpressure for r in runs])
@@ -168,6 +224,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                   f"({args.runs} runs per strategy)",
         )
     )
+    _write_observability(args, tracer, registry)
     return 0
 
 
@@ -178,10 +235,13 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
     high = args.rate or preset.isolation_rate
     pattern = SquareWaveRate(high=high, low=high * 0.35,
                              period_s=args.duration / 3.0)
+    tracer, registry = _observability(args, f"autoscale/{args.query}")
     controller = CAPSysController(
         graph, cluster,
         strategy="caps" if args.strategy == "caps" else FlinkDefaultStrategy(),
         config=_controller_config(args),
+        tracer=tracer,
+        registry=registry,
     )
     result = controller.run_adaptive(
         {op: pattern for op in graph.sources()},
@@ -196,6 +256,7 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         )
     ]
     print(format_table(["t (s)", "target", "throughput", "tasks"], rows))
+    _write_observability(args, tracer, registry)
     return 0
 
 
@@ -204,19 +265,24 @@ def cmd_explore(args: argparse.Namespace) -> int:
     cluster = _cluster(args)
     rate = args.rate or preset.target_rate
     graph = preset.build()
+    tracer, registry = _observability(args, f"explore/{args.query}")
+    if registry is not None:
+        DEFAULT_CACHE.bind_registry(registry)
     plans, _model = enumerate_all_plans(graph, cluster, rate)
     print(f"{len(plans)} distinct plans")
     if len(plans) > args.limit:
         plans = sorted(plans, key=lambda cp: cp[0].total())[: args.limit]
         print(f"simulating the {args.limit} lowest-cost plans")
     outcomes = [
-        simulate_plan(graph, cluster, plan, rate, duration_s=240, warmup_s=100)
+        simulate_plan(graph, cluster, plan, rate, duration_s=240, warmup_s=100,
+                      tracer=tracer)
         for _cost, plan in plans
     ]
     thpt = box_stats([s.throughput for s in outcomes])
     meets = sum(1 for s in outcomes if s.meets_target())
     print(f"throughput spread: {thpt}")
     print(f"plans meeting target: {meets}/{len(outcomes)}")
+    _write_observability(args, tracer, registry)
     return 0
 
 
@@ -240,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_cluster_args(p)
     _add_search_args(p)
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_place)
 
     p = sub.add_parser("compare", help="CAPS vs Flink baselines")
@@ -249,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=420.0)
     _add_cluster_args(p)
     _add_search_args(p)
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("autoscale", help="adaptive DS2 + placement loop")
@@ -258,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=2700.0)
     _add_cluster_args(p, workers=8)
     _add_search_args(p)
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_autoscale)
 
     p = sub.add_parser("explore", help="enumerate the placement space")
@@ -266,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=120,
                    help="max plans to simulate")
     _add_cluster_args(p, workers=4, slots=4)
+    _add_obs_args(p)
     p.set_defaults(fn=cmd_explore)
     return parser
 

@@ -25,6 +25,7 @@ from repro.core.cost_model import CostModel, TaskCosts, UnitCosts
 from repro.core.plan import PlacementPlan
 from repro.controller.events import AdaptiveRunResult, RescaleEvent, TimelineSample
 from repro.controller.profiler import CostProfiler, OperatorKey
+from repro.observability import MetricRegistry, Tracer
 from repro.placement.base import PlacementStrategy
 from repro.placement.caps import CapsStrategy
 from repro.scaling.ds2 import DS2Controller, ScalingDecision
@@ -118,6 +119,11 @@ def operator_rates_from_unit_costs(
     return rates
 
 
+def _parallelism_str(parallelism: Mapping[str, int]) -> str:
+    """Compact deterministic rendering for trace args (plain scalar)."""
+    return ",".join(f"{op}={p}" for op, p in sorted(parallelism.items()))
+
+
 class CAPSysController:
     """Adaptive controller for one streaming job on one cluster.
 
@@ -133,6 +139,16 @@ class CAPSysController:
         config: Control-loop parameters.
         unit_costs: Pre-computed profile; when omitted, :meth:`profile`
             runs the profiling job on first use.
+        tracer: Optional :class:`~repro.observability.Tracer` threaded
+            through every engine and strategy this controller builds:
+            the adaptive loop emits sim-domain deploy / DS2-decision /
+            rescale events (and a rescale downtime span) on the run's
+            absolute simulated clock, stitching one timeline of
+            ticks -> decisions -> search spans -> restarts.
+        registry: Optional :class:`~repro.observability.MetricRegistry`
+            shared with the engines and the placement strategy;
+            controller-level counters track deploys, DS2 decisions,
+            and rescales.
     """
 
     def __init__(
@@ -143,6 +159,8 @@ class CAPSysController:
         config: Optional[ControllerConfig] = None,
         unit_costs: Optional[Mapping[OperatorKey, UnitCosts]] = None,
         network_cap_bytes_per_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -150,6 +168,8 @@ class CAPSysController:
         self.config = config or ControllerConfig()
         self.strategy_spec = strategy
         self.network_cap = network_cap_bytes_per_s
+        self.tracer = tracer
+        self.registry = registry
         self._unit_costs: Optional[Dict[OperatorKey, UnitCosts]] = (
             dict(unit_costs) if unit_costs is not None else None
         )
@@ -224,12 +244,16 @@ class CAPSysController:
                 jobs=self.config.search_jobs,
                 autotune_timeout_s=self.config.autotune_timeout_s,
                 search_timeout_s=self.config.search_timeout_s,
+                tracer=self.tracer,
+                registry=self.registry,
             )
         strategy = self.strategy_spec
         if hasattr(strategy, "seed"):
             strategy.seed = self._rng.randrange(2**31)
         if isinstance(strategy, CapsStrategy):
             strategy.source_rates = dict(source_rates)
+            strategy.tracer = self.tracer
+            strategy.registry = self.registry
         return strategy
 
     def place(
@@ -267,14 +291,38 @@ class CAPSysController:
             {(scaled.job_id, op): rate for op, rate in target_rates.items()},
             config=self.config.sim,
             network_cap_bytes_per_s=self.network_cap,
+            tracer=self.tracer,
+            registry=self.registry,
         )
-        return Deployment(
+        engine.trace_time_offset_s = started_at_s
+        deployment = Deployment(
             graph=scaled,
             physical=physical,
             plan=plan,
             engine=engine,
             started_at_s=started_at_s,
         )
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "controller.deploy",
+                started_at_s,
+                cat="controller",
+                args={
+                    "total_tasks": deployment.total_tasks,
+                    "parallelism": _parallelism_str(deployment.parallelism),
+                },
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "controller_deploys_total", help="Deployments started."
+            ).inc()
+            self.registry.gauge(
+                "controller_total_tasks",
+                help="Tasks in the current deployment.",
+            ).set(deployment.total_tasks)
+        return deployment
 
     # ------------------------------------------------------------------
     # Adaptive loop (section 6.4.2)
@@ -322,6 +370,23 @@ class CAPSysController:
             decision = self.ds2.decide(
                 rates, target, current_parallelism=deployment.parallelism
             )
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.event(
+                    "sim",
+                    "ds2.decision",
+                    now,
+                    cat="controller",
+                    args={
+                        "changed": decision.changed,
+                        "parallelism": _parallelism_str(decision.parallelism),
+                    },
+                )
+            if self.registry is not None:
+                self.registry.counter(
+                    "controller_ds2_decisions_total",
+                    help="DS2 scaling decisions evaluated.",
+                ).inc()
             if not decision.changed:
                 continue
             fitted = self._fit_to_cluster(decision.parallelism)
@@ -332,7 +397,32 @@ class CAPSysController:
                     new_parallelism=dict(fitted),
                 )
             )
+            if tr is not None and tr.enabled:
+                tr.event(
+                    "sim",
+                    "controller.rescale",
+                    now,
+                    cat="controller",
+                    args={
+                        "old_tasks": deployment.total_tasks,
+                        "new_tasks": sum(fitted.values()),
+                        "new_parallelism": _parallelism_str(fitted),
+                    },
+                )
+            if self.registry is not None:
+                self.registry.counter(
+                    "controller_rescales_total", help="Rescales enacted."
+                ).inc()
+            downtime_start = now
             now = self._apply_downtime(result, now, target, fitted)
+            if tr is not None and tr.enabled:
+                tr.span(
+                    "sim",
+                    "controller.rescale.downtime",
+                    downtime_start,
+                    now,
+                    cat="controller",
+                )
             deployment = self.deploy(
                 {
                     op: TimeShiftedRate(patterns[op], now)
@@ -429,7 +519,10 @@ class CAPSysController:
                 {(deployment.graph.job_id, op): r for op, r in current_rates.items()},
                 config=self.config.sim,
                 network_cap_bytes_per_s=self.network_cap,
+                tracer=self.tracer,
+                registry=self.registry,
             )
+            engine.trace_time_offset_s = now
             deployment = Deployment(
                 graph=deployment.graph,
                 physical=deployment.physical,

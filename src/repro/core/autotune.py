@@ -21,10 +21,10 @@ paper precomputes thresholds for candidate scaling scenarios offline;
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.observability import clock
 from repro.core.cost_model import CostModel, CostVector, DIMENSIONS, TaskCosts
 from repro.core.search import CapsSearch, SearchLimits
 
@@ -105,7 +105,7 @@ class ThresholdAutoTuner:
         self, thresholds: Mapping[str, float], deadline: float
     ) -> bool:
         """Whether any plan satisfies ``thresholds`` (first-plan probe)."""
-        remaining = deadline - time.monotonic()  # repro: allow[DET002] user-requested timeout budget (timeout_s)
+        remaining = deadline - clock.monotonic()
         if remaining <= 0:
             raise _TimeoutSignal
         probe_timeout = remaining
@@ -149,7 +149,7 @@ class ThresholdAutoTuner:
     # ------------------------------------------------------------------
     def tune(self) -> AutoTuneResult:
         """Run both phases and return the minimum feasible vector."""
-        started = time.monotonic()  # repro: allow[DET002] anchors the user-requested timeout budget
+        started = clock.monotonic()
         deadline = started + self.timeout_s
         iterations = 0
         timed_out = False
@@ -192,7 +192,7 @@ class ThresholdAutoTuner:
             thresholds=CostVector(**joint),
             phase1_minima=CostVector(**minima),
             iterations=iterations,
-            duration_s=time.monotonic() - started,  # repro: allow[DET002] telemetry only, never feeds tuning
+            duration_s=clock.elapsed_since(started),
             timed_out=timed_out,
         )
 

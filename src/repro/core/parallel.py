@@ -39,11 +39,11 @@ backend yields little wall-clock speedup; the process backend in
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.observability import clock
 from repro.core.cost_model import CostVector
 from repro.core.pareto import ParetoFront
 from repro.core.plan import PlacementPlan
@@ -213,6 +213,8 @@ def merge_partition_results(
         pruned_io=enumeration.stats.pruned_io,
         pruned_net=enumeration.stats.pruned_net,
         exhausted=enumeration.stats.exhausted,
+        layer_completions=enumeration.stats.layer_completions,
+        layer_net_prunes=enumeration.stats.layer_net_prunes,
     )
     front: ParetoFront = ParetoFront(capacity=search.pareto_capacity)
     all_plans: List[Tuple[CostVector, PlacementPlan]] = []
@@ -264,13 +266,13 @@ class ParallelCapsSearch:
 
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
-        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
+        started = clock.monotonic()
         if not self.search.layers:
             return self.search.run(limits)
         enumeration = enumerate_seeds(self.search)
         if not enumeration.seeds:
             stats = enumeration.stats
-            stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
+            stats.duration_s = clock.elapsed_since(started)
             return SearchResult(
                 best_plan=None,
                 best_cost=None,
@@ -290,5 +292,5 @@ class ParallelCapsSearch:
             results = [future.result() for future in futures]
 
         return merge_partition_results(
-            self.search, enumeration, results, time.monotonic() - started  # repro: allow[DET002] telemetry only
+            self.search, enumeration, results, clock.elapsed_since(started)
         )

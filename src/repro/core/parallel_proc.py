@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.observability import clock
 from repro.core.cost_model import CostModel, CostVector
 from repro.core.pareto import ParetoFront
 from repro.core.parallel import (
@@ -201,13 +201,13 @@ class ProcessCapsSearch:
 
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
-        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
+        started = clock.monotonic()
         if not self.search.layers:
             return self.search.run(limits)
         enumeration = enumerate_seeds(self.search)
         if not enumeration.seeds:
             stats = enumeration.stats
-            stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
+            stats.duration_s = clock.elapsed_since(started)
             return SearchResult(
                 best_plan=None,
                 best_cost=None,
@@ -220,7 +220,7 @@ class ProcessCapsSearch:
         else:
             results = self._run_pool(limits, partitions)
         return merge_partition_results(
-            self.search, enumeration, results, time.monotonic() - started  # repro: allow[DET002] telemetry only
+            self.search, enumeration, results, clock.elapsed_since(started)
         )
 
     def _run_inline(

@@ -52,10 +52,10 @@ from __future__ import annotations
 
 import math
 import sys
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.observability import clock
 from repro.core.cost_model import CostModel, CostVector, DIMENSIONS
 from repro.core.pareto import ParetoFront
 from repro.core.plan import PlacementPlan
@@ -119,6 +119,17 @@ class SearchStats:
     #: Number of parallel search partitions that contributed (1 for a
     #: sequential run).
     partitions: int = 1
+    #: Per-depth completion counts: ``layer_completions[d]`` is the
+    #: number of net-feasible assignments of outer layer ``d`` the DFS
+    #: finished (= expansions into depth ``d+1``, or completed plans for
+    #: the last layer). Populated by the incremental search only
+    #: (``None`` from the reference implementation); accounted at layer
+    #: completion, never per node, so the hot path stays flat. The
+    #: tracer turns these into per-depth sub-spans of the search span.
+    layer_completions: Optional[Tuple[int, ...]] = None
+    #: Per-depth network-threshold prunes (the ``pruned_net`` counter,
+    #: attributed to the layer whose resolution violated the bound).
+    layer_net_prunes: Optional[Tuple[int, ...]] = None
 
     @property
     def pruned_total(self) -> int:
@@ -138,6 +149,22 @@ class SearchStats:
         self.pruned_io += other.pruned_io
         self.pruned_net += other.pruned_net
         self.exhausted = self.exhausted and other.exhausted
+        if other.layer_completions is not None:
+            if self.layer_completions is None:
+                self.layer_completions = other.layer_completions
+            else:
+                self.layer_completions = tuple(
+                    a + b
+                    for a, b in zip(self.layer_completions, other.layer_completions)
+                )
+        if other.layer_net_prunes is not None:
+            if self.layer_net_prunes is None:
+                self.layer_net_prunes = other.layer_net_prunes
+            else:
+                self.layer_net_prunes = tuple(
+                    a + b
+                    for a, b in zip(self.layer_net_prunes, other.layer_net_prunes)
+                )
 
 
 @dataclass
@@ -363,13 +390,13 @@ class CapsSearch:
         """Execute the DFS and return the (pareto-)best satisfying plan."""
         limits = limits or SearchLimits()
         state = _SearchState(self, limits)
-        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
+        started = clock.monotonic()
         try:
             state.descend_layer(0)
         except _StopSearch:
             state.exhausted = False
         stats = state.stats()
-        stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
+        stats.duration_s = clock.elapsed_since(started)
 
         best_plan: Optional[PlacementPlan] = None
         best_cost: Optional[CostVector] = None
@@ -451,6 +478,12 @@ class _SearchState:
         self.pruned_net = 0
         self.exhausted = True
         self.first_seed: Optional[int] = None
+        # Per-depth counters, bumped only at layer-completion events
+        # (one increment per completed layer assignment, never per
+        # node), so enabling them costs the hot loop nothing.
+        n_layers = len(search._layers)
+        self.layer_completions = [0] * n_layers
+        self.layer_net_prunes = [0] * n_layers
 
         #: Whether plan completions need their cost vector at all; in pure
         #: counting runs (Table 2) the cost is dead and skipped entirely.
@@ -482,7 +515,7 @@ class _SearchState:
         self._undo_w: List[int] = [0] * (max_res * worker_count)
         self._undo_delta: List[float] = [0.0] * (max_res * worker_count)
         self._deadline = (
-            time.monotonic() + limits.timeout_s if limits.timeout_s else None  # repro: allow[DET002] user-requested timeout (SearchLimits.timeout_s)
+            clock.deadline(limits.timeout_s) if limits.timeout_s else None
         )
         self._node_tick = 0
         #: Optional cross-thread cancellation flag (any object with an
@@ -510,13 +543,15 @@ class _SearchState:
             pruned_net=self.pruned_net,
             exhausted=self.exhausted,
             first_seed=self.first_seed,
+            layer_completions=tuple(self.layer_completions),
+            layer_net_prunes=tuple(self.layer_net_prunes),
         )
 
     # ------------------------------------------------------------------
     def _check_deadline(self) -> None:
         """Slow-path limit check, every _DEADLINE_CHECK_INTERVAL nodes."""
         self._node_tick = 0
-        if self._deadline is not None and time.monotonic() > self._deadline:  # repro: allow[DET002] user-requested timeout (SearchLimits.timeout_s)
+        if self._deadline is not None and clock.monotonic() > self._deadline:
             raise _StopSearch
         if self.stop_event is not None and self.stop_event.is_set():
             raise _StopSearch
@@ -719,15 +754,20 @@ class _SearchState:
                 break
         if violated:
             self.pruned_net += 1
+            self.layer_net_prunes[layer_idx] += 1
         elif layer_idx == 0 and self.seed_collector is not None:
             # Seed-enumeration mode: record, don't descend. Layer-0
-            # node/prune counters accumulate exactly as in a full run.
+            # node/prune/completion counters accumulate exactly as in a
+            # full run (run_seed skips them, so the parallel merge
+            # counts each seed's completion exactly once).
+            self.layer_completions[0] += 1
             self.seed_collector.append(list(counts))
             self.layer0_index += 1
         else:
             if layer_idx == 0:
                 self._seed_index = self.layer0_index
                 self.layer0_index += 1
+            self.layer_completions[layer_idx] += 1
             old_groups = self.groups
             self.groups = self._refined_groups(counts)
             try:
@@ -796,10 +836,12 @@ class _SearchState:
                 break
         if violated:
             self.pruned_net += 1
+            self.layer_net_prunes[layer_idx] += 1
         else:
             if layer_idx == 0:
                 self._seed_index = self.layer0_index
                 self.layer0_index += 1
+            self.layer_completions[layer_idx] += 1
             self._on_complete_plan()
         for i in range(k - 1, -1, -1):
             load_net[undo_w[i]] = undo_delta[i]

@@ -24,8 +24,9 @@ Do not "improve" this file; its value is that it does not change.
 from __future__ import annotations
 
 import math
-import time
 from typing import Dict, List, Optional, Tuple
+
+from repro.observability import clock
 
 from repro.core.cost_model import CostVector
 from repro.core.pareto import ParetoFront
@@ -53,12 +54,12 @@ class ReferenceCapsSearch(CapsSearch):
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
         state = _ReferenceSearchState(self, limits)
-        started = time.monotonic()  # repro: allow[DET002] telemetry (stats.duration_s), never feeds plan choice
+        started = clock.monotonic()
         try:
             state.descend_layer(0)
         except _StopSearch:
             state.stats.exhausted = False
-        state.stats.duration_s = time.monotonic() - started  # repro: allow[DET002] telemetry only
+        state.stats.duration_s = clock.elapsed_since(started)
 
         best_plan: Optional[PlacementPlan] = None
         best_cost: Optional[CostVector] = None
@@ -103,7 +104,7 @@ class _ReferenceSearchState:
         self.base_groups: List[int] = list(search._spec_group)
         self.histories: List[Tuple[int, ...]] = [() for _ in range(worker_count)]
         self._deadline = (
-            time.monotonic() + limits.timeout_s if limits.timeout_s else None  # repro: allow[DET002] user-requested timeout (SearchLimits.timeout_s)
+            clock.deadline(limits.timeout_s) if limits.timeout_s else None
         )
         self._node_tick = 0
         self.stop_event = None
@@ -117,7 +118,7 @@ class _ReferenceSearchState:
         self._node_tick += 1
         if self._node_tick >= _DEADLINE_CHECK_INTERVAL:
             self._node_tick = 0
-            if self._deadline is not None and time.monotonic() > self._deadline:  # repro: allow[DET002] user-requested timeout (SearchLimits.timeout_s)
+            if self._deadline is not None and clock.monotonic() > self._deadline:
                 raise _StopSearch
             if self.stop_event is not None and self.stop_event.is_set():
                 raise _StopSearch

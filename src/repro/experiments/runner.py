@@ -30,6 +30,7 @@ from repro.dataflow.physical import PhysicalGraph
 from repro.core.cost_model import CostModel, CostVector, TaskCosts
 from repro.core.plan import PlacementPlan
 from repro.core.search import CapsSearch, SearchLimits
+from repro.observability import Tracer
 from repro.placement.base import PlacementStrategy
 from repro.simulator.engine import FluidSimulation, SimulationConfig
 from repro.simulator.plan_cache import CacheOption, simulate_cached
@@ -90,6 +91,7 @@ def simulate_plan(
     config: Optional[SimulationConfig] = None,
     network_cap_bytes_per_s: Optional[float] = None,
     cache: CacheOption = "default",
+    tracer: Optional[Tracer] = None,
 ) -> JobSummary:
     """Simulate one (single-job) plan and return its summary.
 
@@ -108,6 +110,7 @@ def simulate_plan(
         config=config,
         network_cap_bytes_per_s=network_cap_bytes_per_s,
         cache=cache,
+        tracer=tracer,
     )
     return summary.only
 
@@ -121,6 +124,7 @@ def simulate_multi_job(
     warmup_s: float = 240.0,
     config: Optional[SimulationConfig] = None,
     cache: CacheOption = "default",
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, JobSummary]:
     """Simulate a merged multi-job deployment; summaries per job.
 
@@ -128,7 +132,7 @@ def simulate_multi_job(
     """
     summary = simulate_cached(
         physical, cluster, plan, rates, duration_s, warmup_s,
-        config=config, cache=cache,
+        config=config, cache=cache, tracer=tracer,
     )
     return summary.jobs
 
@@ -144,6 +148,7 @@ def strategy_box_runs(
     config: Optional[SimulationConfig] = None,
     base_seed: int = 0,
     cache: CacheOption = "default",
+    tracer: Optional[Tracer] = None,
 ) -> List[ExperimentRun]:
     """Repeat place-and-simulate ``runs`` times with varied seeds.
 
@@ -171,6 +176,7 @@ def strategy_box_runs(
             warmup_s=warmup_s,
             config=config,
             cache=cache,
+            tracer=tracer,
         )
         results.append(ExperimentRun(plan=plan, summaries={summary.job_id: summary}))
     return results

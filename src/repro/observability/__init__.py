@@ -1,0 +1,53 @@
+"""Unified observability: structured tracing and a metric registry.
+
+The CAPSys controller is driven entirely by observed metrics (paper
+section 5.1), yet a reproduction accumulates *operational* signals of
+its own — simulator tick samples, search prune counters, plan-cache
+hit/miss counts, controller rescale events. This package gives them one
+emission, correlation, and export path, with zero dependencies beyond
+the standard library:
+
+- :mod:`repro.observability.clock` — the single sanctioned wall-clock
+  accessor for telemetry. The DET static-analysis rules know about it,
+  so telemetry code no longer needs per-line ``allow[DET002]`` waivers.
+- :mod:`repro.observability.tracer` — :class:`Tracer` emits structured
+  span/event/counter records on two clock domains: ``sim`` (simulated
+  seconds, byte-identical across repeated runs) and ``wall`` (monotonic
+  seconds, for search/cache work). Records export as JSONL or Chrome
+  ``trace_event`` JSON (load in ``about://tracing`` / Perfetto).
+- :mod:`repro.observability.metrics` — :class:`MetricRegistry` with
+  counters, gauges, and histograms; Prometheus-style text exposition
+  and a JSON snapshot.
+- :mod:`repro.observability.tracefile` — read/filter/summarise/diff
+  helpers over trace files, exposed as the ``python -m
+  repro.observability`` CLI.
+
+Determinism contract: records on the ``sim`` clock carry only values
+derived from simulated state, so the filtered ``sim`` stream of two
+identically-seeded runs is byte-identical (CI asserts this). ``wall``
+records carry real timings and are explicitly excluded from that
+guarantee. Tracing is no-op-cheap when disabled: every emission site
+guards on ``tracer.enabled`` before building any record or string.
+"""
+
+from __future__ import annotations
+
+from repro.observability.clock import monotonic
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+from repro.observability.tracer import NULL_TRACER, Tracer, encode_record
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_TRACER",
+    "Tracer",
+    "encode_record",
+    "monotonic",
+]

@@ -1,0 +1,142 @@
+"""Trace-file toolbox: ``python -m repro.observability``.
+
+Subcommands:
+
+- ``summary TRACE``          — record counts, clock extents, span totals;
+- ``filter TRACE``           — re-emit records matching filters as JSONL;
+- ``diff A B``               — compare two traces (byte-level, after
+                               optional filtering); exit 1 on divergence;
+- ``chrome TRACE -o OUT``    — convert JSONL to Chrome ``trace_event``
+                               JSON for about://tracing / Perfetto.
+
+The ``--clock sim`` filter on ``diff`` is the determinism check used in
+CI: two identically-seeded adaptive runs must produce byte-identical
+simulated-time streams.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.observability.tracer import chrome_trace, encode_record
+from repro.observability.tracefile import (
+    diff_streams,
+    filter_records,
+    format_summary,
+    read_jsonl,
+    summarize,
+)
+
+
+def _add_filter_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clock", choices=("sim", "wall"), default=None,
+                        help="restrict to one clock domain")
+    parser.add_argument("--name", default=None,
+                        help="restrict to records whose name contains this")
+    parser.add_argument("--cat", default=None,
+                        help="restrict to one category")
+    parser.add_argument("--run", default=None,
+                        help="restrict to one run id")
+
+
+def _filtered(path: str, args: argparse.Namespace):
+    return filter_records(
+        read_jsonl(path),
+        clock=args.clock, name=args.name, cat=args.cat, run=args.run,
+    )
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    summary = summarize(_filtered(args.trace, args))
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+def cmd_filter(args: argparse.Namespace) -> int:
+    records = _filtered(args.trace, args)
+    out = sys.stdout if args.output is None else open(
+        args.output, "w", encoding="utf-8"
+    )
+    try:
+        for record in records:
+            out.write(encode_record(record) + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    a = _filtered(args.trace_a, args)
+    b = _filtered(args.trace_b, args)
+    divergence = diff_streams(a, b)
+    if divergence is None:
+        print(f"identical: {len(a)} records")
+        return 0
+    print(f"streams diverge at record {divergence['index']}:")
+    print(f"  a: {divergence.get('a')}")
+    print(f"  b: {divergence.get('b')}")
+    if "extra_side" in divergence:
+        print(
+            f"  ({divergence['extra_records']} extra record(s) in "
+            f"{divergence['extra_side']})"
+        )
+    return 1
+
+
+def cmd_chrome(args: argparse.Namespace) -> int:
+    records = _filtered(args.trace, args)
+    trace = chrome_trace(records)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, sort_keys=True)
+    print(f"wrote {len(trace['traceEvents'])} events to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.observability",
+        description="summarise, filter, and diff repro trace files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="aggregate counts and extents")
+    p.add_argument("trace")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    _add_filter_args(p)
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("filter", help="re-emit matching records as JSONL")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", default=None,
+                   help="output path (default: stdout)")
+    _add_filter_args(p)
+    p.set_defaults(fn=cmd_filter)
+
+    p = sub.add_parser("diff", help="compare two traces byte-for-byte")
+    p.add_argument("trace_a")
+    p.add_argument("trace_b")
+    _add_filter_args(p)
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("chrome", help="convert to Chrome trace_event JSON")
+    p.add_argument("trace")
+    p.add_argument("-o", "--output", required=True)
+    _add_filter_args(p)
+    p.set_defaults(fn=cmd_chrome)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

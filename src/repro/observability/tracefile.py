@@ -1,0 +1,144 @@
+"""Reading, filtering, summarising, and diffing JSONL trace files.
+
+The library half of the ``python -m repro.observability`` CLI: every
+operation works on plain record dicts (as emitted by
+:class:`~repro.observability.tracer.Tracer`) so tests and notebooks can
+call them directly on in-memory traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.observability.tracer import encode_record
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file; blank lines are ignored."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON trace record: {exc}"
+                ) from None
+    return records
+
+
+def filter_records(
+    records: Iterable[Mapping[str, Any]],
+    clock: Optional[str] = None,
+    name: Optional[str] = None,
+    cat: Optional[str] = None,
+    run: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Restrict records by clock domain, name substring, category, run."""
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        if clock is not None and record.get("clock") != clock:
+            continue
+        if name is not None and name not in record.get("name", ""):
+            continue
+        if cat is not None and record.get("cat") != cat:
+            continue
+        if run is not None and record.get("run") != run:
+            continue
+        out.append(dict(record))
+    return out
+
+
+def summarize(records: List[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace: record counts, time extents, span totals."""
+    runs = sorted({r.get("run", "") for r in records})
+    by_clock: Dict[str, int] = {}
+    by_name: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    extent: Dict[str, Tuple[float, float]] = {}
+    for record in records:
+        clock = record.get("clock", "?")
+        by_clock[clock] = by_clock.get(clock, 0) + 1
+        t = float(record.get("t", 0.0))
+        t_end = t + float(record.get("dur", 0.0))
+        lo, hi = extent.get(clock, (t, t_end))
+        extent[clock] = (min(lo, t), max(hi, t_end))
+        key = (clock, record.get("ph", "?"), record.get("name", "?"))
+        entry = by_name.setdefault(
+            key, {"count": 0, "total_dur": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_dur"] += float(record.get("dur", 0.0))
+    names = [
+        {
+            "clock": clock,
+            "ph": ph,
+            "name": name,
+            "count": entry["count"],
+            "total_dur": entry["total_dur"],
+        }
+        for (clock, ph, name), entry in sorted(by_name.items())
+    ]
+    return {
+        "records": len(records),
+        "runs": runs,
+        "by_clock": dict(sorted(by_clock.items())),
+        "extent": {
+            clock: {"start": lo, "end": hi}
+            for clock, (lo, hi) in sorted(extent.items())
+        },
+        "names": names,
+    }
+
+
+def format_summary(summary: Mapping[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize` output."""
+    lines = [
+        f"records: {summary['records']}",
+        f"runs:    {', '.join(summary['runs']) or '(none)'}",
+    ]
+    for clock, count in summary["by_clock"].items():
+        ext = summary["extent"][clock]
+        lines.append(
+            f"clock {clock}: {count} records over "
+            f"[{ext['start']:.3f}, {ext['end']:.3f}] s"
+        )
+    if summary["names"]:
+        lines.append("")
+        lines.append(f"{'clock':<6} {'ph':<3} {'count':>7} {'total dur (s)':>14}  name")
+        for row in summary["names"]:
+            lines.append(
+                f"{row['clock']:<6} {row['ph']:<3} {row['count']:>7} "
+                f"{row['total_dur']:>14.6f}  {row['name']}"
+            )
+    return "\n".join(lines)
+
+
+def diff_streams(
+    a: List[Mapping[str, Any]],
+    b: List[Mapping[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """First divergence between two record streams, or None if identical.
+
+    Streams compare by canonical encoding, i.e. byte-identity of the
+    JSONL representation — exactly the determinism contract the ``sim``
+    clock domain promises for identically-seeded runs.
+    """
+    for index, (ra, rb) in enumerate(zip(a, b)):
+        ea, eb = encode_record(ra), encode_record(rb)
+        if ea != eb:
+            return {"index": index, "a": ea, "b": eb}
+    if len(a) != len(b):
+        index = min(len(a), len(b))
+        longer, side = (a, "a") if len(a) > len(b) else (b, "b")
+        return {
+            "index": index,
+            "a": encode_record(a[index]) if len(a) > index else None,
+            "b": encode_record(b[index]) if len(b) > index else None,
+            "extra_side": side,
+            "extra_records": len(longer) - index,
+        }
+    return None

@@ -1,0 +1,286 @@
+"""Structured tracing with simulated-time and wall-time clock domains.
+
+A :class:`Tracer` collects flat, JSON-encodable records describing one
+run. Every record carries:
+
+- ``run``: the run-scoped correlation id (caller-chosen, deterministic
+  — e.g. ``"Q1-sliding/seed0"`` — never a uuid or timestamp);
+- ``clock``: the domain of its timestamp — ``"sim"`` for simulated
+  seconds (engine ticks, DS2 decisions, rescale/restart events) or
+  ``"wall"`` for monotonic wall seconds (search and cache work);
+- ``seq``: a per-domain sequence number, so the filtered ``sim`` stream
+  is self-contained and byte-identical across repeated runs no matter
+  how much wall-domain work interleaved;
+- ``ph``: the phase, following Chrome ``trace_event`` convention —
+  ``"i"`` instant event, ``"X"`` complete span (``t`` + ``dur``), or
+  ``"C"`` counter sample;
+- ``name``, ``cat``, ``t`` (seconds), optional ``dur`` (seconds), and
+  an ``args`` mapping of plain scalars.
+
+Determinism contract: ``sim`` records must contain only values derived
+from simulated state. The tracer enforces the *encoding* half — records
+serialise via :func:`encode_record` with sorted keys and exact float
+``repr`` — and emission sites uphold the *content* half by construction
+(audited by the byte-identity tests and the CI double-run check).
+
+Cost contract: a disabled tracer (``enabled=False``, or the shared
+:data:`NULL_TRACER`) must cost one attribute read and one branch per
+emission site. Callers guard with ``if tracer.enabled:`` before
+building args dicts or f-strings; the methods also early-return so an
+unguarded call is still cheap, just not free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.observability.clock import monotonic
+
+#: Map a clock domain to a Chrome trace ``tid`` so the two domains land
+#: on separate tracks of the same process in about://tracing.
+_CLOCK_TID = {"sim": 1, "wall": 2}
+
+
+def encode_record(record: Mapping[str, Any]) -> str:
+    """The canonical one-line JSON encoding of a trace record.
+
+    Sorted keys and compact separators make the encoding a pure
+    function of the record's content; float values serialise via
+    ``repr`` (exact round-trip), so two equal records always encode to
+    identical bytes.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class _Span:
+    """An open wall-domain span; emitted on ``__exit__``.
+
+    ``set(**args)`` attaches result arguments discovered inside the
+    span (e.g. search statistics known only after the search returns).
+    """
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._t0 = 0.0
+
+    def set(self, **args: Any) -> None:
+        self._args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.span(
+            "wall", self._name, self._t0, monotonic(), cat=self._cat,
+            args=self._args,
+        )
+
+
+class _NullSpan:
+    """Context manager returned by a disabled tracer: does nothing."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects structured trace records for one run.
+
+    Args:
+        run_id: Run-scoped correlation id stamped on every record. Must
+            be deterministic for the ``sim``-stream byte-identity
+            guarantee to hold (derive it from the workload and seed,
+            never from clocks or uuids).
+        enabled: When False every emission is a no-op; emission sites
+            should guard on :attr:`enabled` to skip argument
+            construction entirely.
+    """
+
+    __slots__ = ("run_id", "enabled", "records", "_seq")
+
+    def __init__(self, run_id: str = "run", enabled: bool = True) -> None:
+        self.run_id = run_id
+        self.enabled = enabled
+        self.records: List[Dict[str, Any]] = []
+        self._seq = {"sim": 0, "wall": 0}
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        clock: str,
+        ph: str,
+        name: str,
+        t: float,
+        cat: str,
+        args: Optional[Mapping[str, Any]],
+        dur: Optional[float] = None,
+    ) -> None:
+        seq = self._seq[clock]  # KeyError on an unknown clock domain
+        record: Dict[str, Any] = {
+            "run": self.run_id,
+            "clock": clock,
+            "seq": seq,
+            "ph": ph,
+            "name": name,
+            "cat": cat,
+            "t": float(t),
+        }
+        if dur is not None:
+            record["dur"] = float(dur)
+        if args:
+            record["args"] = dict(args)
+        self._seq[clock] = seq + 1
+        self.records.append(record)
+
+    def event(
+        self,
+        clock: str,
+        name: str,
+        t: float,
+        cat: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Instant event at time ``t`` on the given clock domain."""
+        if not self.enabled:
+            return
+        self._emit(clock, "i", name, t, cat, args)
+
+    def span(
+        self,
+        clock: str,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "",
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Complete span covering ``[t0, t1]`` on the given clock."""
+        if not self.enabled:
+            return
+        self._emit(clock, "X", name, t0, cat, args, dur=t1 - t0)
+
+    def counter(
+        self,
+        clock: str,
+        name: str,
+        t: float,
+        values: Mapping[str, float],
+        cat: str = "",
+    ) -> None:
+        """Counter sample: named series values at time ``t``."""
+        if not self.enabled:
+            return
+        self._emit(clock, "C", name, t, cat, values)
+
+    def wall_span(self, name: str, cat: str = "", **args: Any):
+        """Context manager timing a wall-domain span.
+
+        The returned span object accepts ``.set(**args)`` inside the
+        block to attach results; a disabled tracer returns a shared
+        no-op span.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, dict(args))
+
+    # ------------------------------------------------------------------
+    # Queries and export
+    # ------------------------------------------------------------------
+    def stream(self, clock: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Records, optionally restricted to one clock domain."""
+        if clock is None:
+            return list(self.records)
+        return [r for r in self.records if r["clock"] == clock]
+
+    def to_jsonl(self, clock: Optional[str] = None) -> str:
+        """JSONL encoding (one canonical record per line, trailing \\n)."""
+        lines = [encode_record(r) for r in self.stream(clock)]
+        return "".join(line + "\n" for line in lines)
+
+    def write_jsonl(self, path: str, clock: Optional[str] = None) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl(clock))
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """Chrome ``trace_event`` JSON (load in about://tracing)."""
+        return chrome_trace(self.records, run_id=self.run_id)
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, sort_keys=True)
+
+
+#: Shared disabled tracer: ``engine_tracer = tracer or NULL_TRACER``
+#: gives emission sites a non-None object whose ``enabled`` is False.
+NULL_TRACER = Tracer(run_id="null", enabled=False)
+
+
+def chrome_trace(
+    records: Iterable[Mapping[str, Any]], run_id: str = "run"
+) -> Dict[str, Any]:
+    """Convert trace records to the Chrome ``trace_event`` format.
+
+    The two clock domains do not share an epoch, so they are rendered
+    as two named threads of one process: timestamps are seconds
+    converted to microseconds within each domain's own timeline.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"repro:{run_id}"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": _CLOCK_TID["sim"],
+            "args": {"name": "sim (simulated seconds)"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": 0,
+            "tid": _CLOCK_TID["wall"],
+            "args": {"name": "wall (monotonic seconds)"},
+        },
+    ]
+    for record in records:
+        event: Dict[str, Any] = {
+            "ph": record["ph"],
+            "name": record["name"],
+            "cat": record.get("cat") or record["clock"],
+            "pid": 0,
+            "tid": _CLOCK_TID.get(record["clock"], 0),
+            "ts": record["t"] * 1e6,
+        }
+        if record["ph"] == "X":
+            event["dur"] = record.get("dur", 0.0) * 1e6
+        if record["ph"] == "i":
+            event["s"] = "t"  # instant scope: thread
+        if "args" in record:
+            event["args"] = dict(record["args"])
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

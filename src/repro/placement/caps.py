@@ -20,6 +20,7 @@ from repro.core.cost_model import CostModel, CostVector, TaskCosts
 from repro.core.parallel_proc import SEARCH_BACKENDS, run_search
 from repro.core.plan import PlacementPlan
 from repro.core.search import CapsSearch, SearchLimits
+from repro.observability import MetricRegistry, NULL_TRACER, Tracer, clock
 from repro.placement.base import PlacementStrategy
 
 RateMap = Mapping[Tuple[str, str], float]
@@ -45,6 +46,16 @@ class CapsStrategy(PlacementStrategy):
             process backend).
         autotune_timeout_s: Budget for the auto-tuning phase.
         search_timeout_s: Budget for the final pareto search.
+        tracer: Optional :class:`~repro.observability.Tracer`; each
+            placement emits wall-domain ``caps.autotune`` and
+            ``caps.search`` spans plus one ``caps.search.layer`` event
+            per search depth (completions and net prunes from
+            :class:`~repro.core.search.SearchStats`).
+        registry: Optional :class:`~repro.observability.MetricRegistry`
+            accumulating search work counters across placements. The
+            parallel backends ship their counters back through the
+            existing :class:`~repro.core.search.SearchStats` merge, so
+            the registry sees exact totals regardless of backend.
     """
 
     name = "caps"
@@ -62,6 +73,8 @@ class CapsStrategy(PlacementStrategy):
         autotune_task_limit: int = 48,
         search_timeout_s: float = 5.0,
         reorder: bool = True,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.source_rates = dict(source_rates)
         self.thresholds = thresholds
@@ -82,6 +95,8 @@ class CapsStrategy(PlacementStrategy):
         self.autotune_task_limit = autotune_task_limit
         self.search_timeout_s = search_timeout_s
         self.reorder = reorder
+        self.tracer = tracer
+        self.registry = registry
         #: Diagnostics from the most recent placement call.
         self.last_cost_model: Optional[CostModel] = None
         self.last_thresholds: Optional[CostVector] = None
@@ -129,7 +144,14 @@ class CapsStrategy(PlacementStrategy):
                     search_timeout_s=self.autotune_probe_timeout_s,
                     reorder=self.reorder,
                 )
-                tuned = tuner.tune()
+                tr = self.tracer if self.tracer is not None else NULL_TRACER
+                with tr.wall_span("caps.autotune", cat="search") as span:
+                    tuned = tuner.tune()
+                    span.set(
+                        iterations=tuned.iterations,
+                        timed_out=tuned.timed_out,
+                        feasible=tuned.feasible,
+                    )
                 if tuned.timed_out:
                     thresholds = seed
                 else:
@@ -155,8 +177,26 @@ class CapsStrategy(PlacementStrategy):
             selection_weights=weights,
         )
         limits = SearchLimits(timeout_s=self.search_timeout_s)
-        result = run_search(search, limits, backend=self.backend, jobs=self.jobs)
-        self.last_search_stats = result.stats
+        tr = self.tracer if self.tracer is not None else NULL_TRACER
+        with tr.wall_span(
+            "caps.search", cat="search", backend=self.backend
+        ) as span:
+            result = run_search(
+                search, limits, backend=self.backend, jobs=self.jobs
+            )
+            stats = result.stats
+            span.set(
+                nodes=stats.nodes,
+                plans=stats.plans_found,
+                pruned_slots=stats.pruned_slots,
+                pruned_cpu=stats.pruned_cpu,
+                pruned_io=stats.pruned_io,
+                pruned_net=stats.pruned_net,
+                exhausted=stats.exhausted,
+                partitions=stats.partitions,
+            )
+        self.last_search_stats = stats
+        self._observe_search(search, stats, tr)
         if (
             result.best_plan is not None
             and result.best_cost is not None
@@ -165,3 +205,46 @@ class CapsStrategy(PlacementStrategy):
         ):
             return result.best_plan
         return greedy_plan
+
+    def _observe_search(self, search: CapsSearch, stats, tr: Tracer) -> None:
+        """Per-depth layer events and registry counters for one search.
+
+        The per-depth counters come from the merged
+        :class:`~repro.core.search.SearchStats` (``None`` when the
+        reference implementation ran), so one event per depth suffices —
+        no per-node work happened to produce them.
+        """
+        if tr.enabled and stats.layer_completions is not None:
+            t = clock.monotonic()
+            for depth, layer in enumerate(search.layers):
+                tr.event(
+                    "wall",
+                    "caps.search.layer",
+                    t,
+                    cat="search",
+                    args={
+                        "depth": depth,
+                        "job": str(layer.key[0]),
+                        "operator": str(layer.key[1]),
+                        "tasks": len(layer.task_uids),
+                        "completions": stats.layer_completions[depth],
+                        "net_prunes": stats.layer_net_prunes[depth],
+                    },
+                )
+        registry = self.registry
+        if registry is not None:
+            registry.counter(
+                "caps_search_runs_total", help="Placement searches executed."
+            ).inc()
+            registry.counter(
+                "caps_search_nodes_total", help="DFS nodes expanded."
+            ).inc(stats.nodes)
+            registry.counter(
+                "caps_search_plans_total", help="Satisfying plans discovered."
+            ).inc(stats.plans_found)
+            for dim in ("slots", "cpu", "io", "net"):
+                registry.counter(
+                    "caps_search_pruned_total",
+                    labels={"dim": dim},
+                    help="Branches pruned, by bounding dimension.",
+                ).inc(getattr(stats, f"pruned_{dim}"))

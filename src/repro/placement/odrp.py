@@ -31,7 +31,6 @@ versus a pruned DFS.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -42,6 +41,7 @@ from repro.dataflow.cluster import Cluster, WorkerSpec
 from repro.dataflow.graph import LogicalGraph
 from repro.dataflow.physical import PhysicalGraph
 from repro.core.cost_model import UnitCosts
+from repro.observability import clock
 from repro.core.plan import PlacementPlan
 
 
@@ -299,7 +299,7 @@ class OdrpSolver:
         upper = np.ones(n_vars)
         upper[R0:Z0] = float(K)  # r variables are general integers
 
-        started = time.monotonic()  # repro: allow[DET002] telemetry (decision_time_s), never feeds placement
+        started = clock.monotonic()
         result = milp(
             c=c,
             constraints=LinearConstraint(np.vstack(rows), np.array(lbs), np.array(ubs)),
@@ -307,7 +307,7 @@ class OdrpSolver:
             bounds=Bounds(lower, upper),
             options={"time_limit": self.time_limit_s},
         )
-        decision_time = time.monotonic() - started  # repro: allow[DET002] telemetry only
+        decision_time = clock.elapsed_since(started)
         if result.x is None:
             raise RuntimeError(f"ODRP MILP failed: {result.message}")
 

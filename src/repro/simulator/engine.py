@@ -45,6 +45,7 @@ from repro.simulator.contention import (
     proportional_scale,
     thread_oversubscription_penalty,
 )
+from repro.observability import MetricRegistry, Tracer
 from repro.simulator.metrics import MetricsCollector, TickSample
 from repro.simulator.network import NicModel
 from repro.simulator.results import SimulationSummary
@@ -119,6 +120,14 @@ class FluidSimulation:
         network_cap_bytes_per_s: Optional override capping every
             worker's outbound bandwidth (paper section 3.3's 1 Gbps
             experiment), taking precedence over the worker specs.
+        tracer: Optional :class:`~repro.observability.Tracer`; when
+            enabled, every tick emits one ``sim``-domain counter record
+            per job (target/throughput/backpressure/queue/latency), all
+            derived purely from simulated state. Observability sinks
+            never influence the dynamics, so they are excluded from the
+            plan-cache fingerprint by design.
+        registry: Optional :class:`~repro.observability.MetricRegistry`
+            mirrored by the :class:`MetricsCollector`.
     """
 
     def __init__(
@@ -129,10 +138,18 @@ class FluidSimulation:
         source_rates: SourceRates,
         config: Optional[SimulationConfig] = None,
         network_cap_bytes_per_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.physical = physical
         self.cluster = cluster
         self.plan = plan
+        self.tracer = tracer
+        #: Added to every sim-domain trace timestamp. The controller sets
+        #: it to the deployment's absolute start time so an adaptive run's
+        #: engines share one timeline; the engine itself always runs on
+        #: local time. Never read by the dynamics.
+        self.trace_time_offset_s = 0.0
         self.config = config or SimulationConfig()
         validate_deployment(physical, cluster)
         plan.validate(physical, cluster)
@@ -149,6 +166,7 @@ class FluidSimulation:
             job_ids=job_ids,
             task_uids=[t.uid for t in physical.tasks],
             window_ticks=self.config.metrics_window_ticks,
+            registry=registry,
         )
 
     # ------------------------------------------------------------------
@@ -506,6 +524,7 @@ class FluidSimulation:
             net_rate = np.zeros(self._worker_count)
         self.metrics.record_worker_usage(cpu_util, io_rate, net_rate)
 
+        tr = self.tracer
         for job_id, keys in self._job_sources.items():
             idx = np.concatenate([self._source_indices[k] for k in keys])
             job_target = float(np.sum(target[idx]))
@@ -531,6 +550,20 @@ class FluidSimulation:
                     queued_records=queued,
                 ),
             )
+            if tr is not None and tr.enabled:
+                tr.counter(
+                    "sim",
+                    f"job.{job_id}",
+                    self.trace_time_offset_s + self.time_s + dt,
+                    {
+                        "target_rate": job_target,
+                        "throughput": job_throughput,
+                        "backpressure": backpressure,
+                        "queued_records": queued,
+                        "latency_s": latency,
+                    },
+                    cat="engine",
+                )
 
     # ------------------------------------------------------------------
     # Drivers

@@ -16,6 +16,7 @@ from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.observability import MetricRegistry
 from repro.simulator.results import JobSummary, SimulationSummary
 
 
@@ -65,6 +66,9 @@ class MetricsCollector:
         task_uids: Dense-order task uids (simulator index order).
         window_ticks: Size of the rolling window used for task rates;
             DS2 reads averages over this window.
+        registry: Optional :class:`~repro.observability.MetricRegistry`
+            mirroring the latest per-job samples as labelled gauges and
+            a tick counter; ``None`` (the default) records nothing.
     """
 
     def __init__(
@@ -72,12 +76,14 @@ class MetricsCollector:
         job_ids: List[str],
         task_uids: List[str],
         window_ticks: int = 60,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         if window_ticks < 1:
             raise ValueError("window_ticks must be >= 1")
         self.job_ids = list(job_ids)
         self.task_uids = list(task_uids)
         self.window_ticks = window_ticks
+        self.registry = registry
         self._samples: Dict[str, List[TickSample]] = {j: [] for j in self.job_ids}
         self._worker_cpu: List[np.ndarray] = []
         self._worker_io: List[np.ndarray] = []
@@ -89,6 +95,29 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def record_job_tick(self, job_id: str, sample: TickSample) -> None:
         self._samples[job_id].append(sample)
+        registry = self.registry
+        if registry is not None:
+            labels = {"job": job_id}
+            registry.counter(
+                "sim_job_ticks_total",
+                labels=labels,
+                help="Simulation ticks recorded per job.",
+            ).inc()
+            registry.gauge(
+                "sim_job_throughput_records_per_s",
+                labels=labels,
+                help="Latest per-tick job throughput.",
+            ).set(sample.throughput)
+            registry.gauge(
+                "sim_job_backpressure_ratio",
+                labels=labels,
+                help="Latest per-tick backpressure fraction.",
+            ).set(sample.backpressure)
+            registry.histogram(
+                "sim_job_latency_seconds",
+                labels=labels,
+                help="Per-tick Little's-law latency estimates.",
+            ).observe(sample.latency_s)
 
     def record_task_tick(
         self,

@@ -39,11 +39,12 @@ import enum
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.dataflow.cluster import Cluster
 from repro.dataflow.physical import PhysicalGraph
 from repro.core.plan import PlacementPlan
+from repro.observability import NULL_TRACER, MetricRegistry, Tracer
 from repro.simulator.engine import FluidSimulation, SimulationConfig
 from repro.simulator.results import SimulationSummary
 
@@ -167,7 +168,11 @@ class PlanEvaluationCache:
     counters happens under one internal lock.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -175,6 +180,55 @@ class PlanEvaluationCache:
         self._entries: "OrderedDict[str, SimulationSummary]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._m_hits = None
+        self._m_misses = None
+        self._m_evictions = None
+        self._g_size = None
+        if registry is not None:
+            self.bind_registry(registry)
+
+    def bind_registry(self, registry: MetricRegistry) -> None:
+        """Expose the cache's counters through a :class:`MetricRegistry`.
+
+        Counts accumulated before binding are carried into the registry
+        counters, so the shared :data:`DEFAULT_CACHE` can be bound after
+        the fact. Bind a given cache to a given registry at most once:
+        the registry counters are cumulative and a re-bind would
+        double-count the carried history.
+        """
+        with self._lock:
+            self._m_hits = registry.counter(
+                "plan_cache_hits_total", help="Plan-evaluation cache hits."
+            )
+            self._m_misses = registry.counter(
+                "plan_cache_misses_total", help="Plan-evaluation cache misses."
+            )
+            self._m_evictions = registry.counter(
+                "plan_cache_evictions_total",
+                help="Entries evicted by the LRU capacity bound.",
+            )
+            self._g_size = registry.gauge(
+                "plan_cache_entries", help="Entries currently cached."
+            )
+            registry.gauge(
+                "plan_cache_capacity", help="Configured LRU capacity."
+            ).set(self.capacity)
+            self._m_hits.inc(self.hits)
+            self._m_misses.inc(self.misses)
+            self._m_evictions.inc(self.evictions)
+            self._g_size.set(len(self._entries))
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot taken atomically with the LRU state."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def __len__(self) -> int:
         with self._lock:
@@ -187,9 +241,13 @@ class PlanEvaluationCache:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self.misses += 1
+                if self._m_misses is not None:
+                    self._m_misses.inc()
                 return None
             self._entries.move_to_end(fingerprint)
             self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return _copy_summary(entry)
 
     def store(
@@ -202,12 +260,25 @@ class PlanEvaluationCache:
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
+            if self._g_size is not None:
+                self._g_size.set(len(self._entries))
 
     def clear(self) -> None:
+        """Drop all entries and reset the instance counters.
+
+        Bound registry counters are cumulative by contract and are not
+        rewound; only the size gauge follows the cleared state.
+        """
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            if self._g_size is not None:
+                self._g_size.set(0)
 
 
 #: Process-wide default cache, selected by passing ``cache="default"``
@@ -241,39 +312,46 @@ def simulate_cached(
     config: Optional[SimulationConfig] = None,
     network_cap_bytes_per_s: Optional[float] = None,
     cache: CacheOption = "default",
+    tracer: Optional[Tracer] = None,
 ) -> SimulationSummary:
     """Run (or fetch) one simulation through the plan-evaluation cache.
 
     The single choke point the experiment runners call: on a cache hit
     the stored summary is returned without building an engine; on a miss
     (or for uncacheable inputs) the simulation runs normally and the
-    result is stored.
+    result is stored. With a ``tracer``, each evaluation emits one
+    wall-domain ``cache.evaluate`` span recording whether it hit.
     """
     resolved = resolve_cache(cache)
-    fingerprint = None
-    if resolved is not None:
-        fingerprint = simulation_fingerprint(
+    tr = tracer if tracer is not None else NULL_TRACER
+    with tr.wall_span("cache.evaluate", cat="cache") as span:
+        fingerprint = None
+        if resolved is not None:
+            fingerprint = simulation_fingerprint(
+                physical,
+                cluster,
+                plan,
+                rates,
+                duration_s,
+                warmup_s,
+                config=config,
+                network_cap_bytes_per_s=network_cap_bytes_per_s,
+            )
+            hit = resolved.lookup(fingerprint)
+            if hit is not None:
+                span.set(hit=True)
+                return hit
+        sim = FluidSimulation(
             physical,
             cluster,
             plan,
             rates,
-            duration_s,
-            warmup_s,
             config=config,
             network_cap_bytes_per_s=network_cap_bytes_per_s,
+            tracer=tracer,
         )
-        hit = resolved.lookup(fingerprint)
-        if hit is not None:
-            return hit
-    sim = FluidSimulation(
-        physical,
-        cluster,
-        plan,
-        rates,
-        config=config,
-        network_cap_bytes_per_s=network_cap_bytes_per_s,
-    )
-    summary = sim.run(duration_s, warmup_s=warmup_s)
-    if resolved is not None:
-        resolved.store(fingerprint, summary)
+        summary = sim.run(duration_s, warmup_s=warmup_s)
+        if resolved is not None:
+            resolved.store(fingerprint, summary)
+        span.set(hit=False, cacheable=fingerprint is not None)
     return summary

@@ -1,0 +1,17 @@
+"""DET fixture: raw clock reads, legality depending on the module name.
+
+Loaded under the module name ``repro.observability.clock`` (the
+sanctioned accessor module) these reads are the implementation of the
+carve-out and must NOT fire DET002; loaded under any other name the
+same source must fire once per read.
+"""
+
+import time
+
+
+def monotonic():
+    return time.monotonic()  # sanctioned only inside the clock module
+
+
+def stamp():
+    return time.time()  # sanctioned only inside the clock module

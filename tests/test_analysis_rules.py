@@ -74,6 +74,29 @@ class TestDetRules:
     def test_negative_fixture_is_clean(self):
         assert check_det([load("det_clean")], roots=None) == []
 
+    def test_sanctioned_clock_module_may_read_raw_clocks(self):
+        source = load_source(
+            FIXTURES / "det_clock_sanctioned.py",
+            module="repro.observability.clock",
+        )
+        assert check_det([source], roots=None) == []
+
+    def test_same_reads_fire_outside_the_sanctioned_module(self):
+        findings = check_det([load("det_clock_sanctioned")], roots=None)
+        assert rules_of(findings) == {"DET002"}
+        assert len(findings) == 2  # time.monotonic + time.time
+
+    def test_clock_accessor_consumers_are_clean_without_waivers(self):
+        assert check_det([load("det_clock_consumer")], roots=None) == []
+
+    def test_custom_clock_module_allowlist(self):
+        source = source_from_text(
+            "pkg.myclock",
+            "import time\n\ndef now():\n    return time.monotonic()\n",
+        )
+        assert check_det([source], roots=None, clock_modules=("pkg.myclock",)) == []
+        assert len(check_det([source], roots=None, clock_modules=())) == 1
+
     def test_scope_follows_import_reachability(self):
         sim = source_from_text("pkg.sim", "import pkg.util\n")
         util = source_from_text(
