@@ -33,6 +33,7 @@ from repro.experiments import enumerate_all_plans
 from repro.experiments.figures import convergence_timeline_rows
 from repro.experiments.reporting import box_stats, format_percent, format_table
 from repro.experiments.runner import simulate_plan, strategy_box_runs
+from repro.faults import ChaosSchedule, CheckpointConfig
 from repro.observability import MetricRegistry, Tracer
 from repro.placement import CapsStrategy, FlinkDefaultStrategy, FlinkEvenlyStrategy
 from repro.simulator.plan_cache import DEFAULT_CACHE
@@ -64,10 +65,33 @@ def _add_search_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _controller_config(args: argparse.Namespace) -> ControllerConfig:
+    interval = getattr(args, "checkpoint_interval", None)
+    checkpoint = (
+        CheckpointConfig(enabled=True, interval_s=interval)
+        if interval is not None
+        else CheckpointConfig()
+    )
     return ControllerConfig(
         search_backend=args.search_backend,
         search_jobs=args.jobs,
+        checkpoint=checkpoint,
     )
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="deterministic fault schedule, e.g. "
+             "'crash:w3@120,recover:w3@300,disk:w1@60x0.4'")
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=None, metavar="S",
+        help="enable the checkpoint/restore model with this interval; "
+             "crash recovery then pays restore + replay downtime")
+
+
+def _chaos_schedule(args: argparse.Namespace) -> Optional[ChaosSchedule]:
+    spec = getattr(args, "chaos", None)
+    return ChaosSchedule.parse(spec) if spec else None
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -243,12 +267,22 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         tracer=tracer,
         registry=registry,
     )
+    chaos = _chaos_schedule(args)
     result = controller.run_adaptive(
         {op: pattern for op in graph.sources()},
         duration_s=args.duration,
         initial_parallelism={op: 1 for op in graph.operators},
+        chaos=chaos,
     )
     print(f"{result.rescale_count()} scaling decisions")
+    if chaos:
+        fault_rescales = sum(
+            1 for e in result.events if e.reason.startswith("fault:")
+        )
+        print(
+            f"chaos: {len(chaos)} fault events injected, "
+            f"{fault_rescales} fault-triggered rescales"
+        )
     rows = [
         [int(t), round(target), round(thpt), tasks]
         for t, target, thpt, tasks in convergence_timeline_rows(
@@ -326,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=2700.0)
     _add_cluster_args(p, workers=8)
     _add_search_args(p)
+    _add_chaos_args(p)
     _add_obs_args(p)
     p.set_defaults(fn=cmd_autoscale)
 

@@ -15,6 +15,7 @@ strategies under an otherwise identical control loop.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -25,6 +26,13 @@ from repro.core.cost_model import CostModel, TaskCosts, UnitCosts
 from repro.core.plan import PlacementPlan
 from repro.controller.events import AdaptiveRunResult, RescaleEvent, TimelineSample
 from repro.controller.profiler import CostProfiler, OperatorKey
+from repro.faults import (
+    ChaosSchedule,
+    CheckpointConfig,
+    ClusterHealth,
+    observe_fault,
+    recovery_downtime,
+)
 from repro.observability import MetricRegistry, Tracer
 from repro.placement.base import PlacementStrategy
 from repro.placement.caps import CapsStrategy
@@ -57,6 +65,20 @@ class ControllerConfig:
     search_backend: str = "sequential"
     #: Worker count for the parallel search backends (None: one per core).
     search_jobs: Optional[int] = None
+    #: Minimum quiet period between rescales on top of the activation
+    #: time (0 disables the cooldown). Each rescale that fires while the
+    #: previous window is still warm multiplies the cooldown by
+    #: ``rescale_backoff_factor`` up to ``rescale_cooldown_max_s`` —
+    #: exponential backoff that suppresses rescale flapping when faults
+    #: arrive in bursts.
+    rescale_cooldown_s: float = 0.0
+    rescale_backoff_factor: float = 2.0
+    rescale_cooldown_max_s: float = 600.0
+    #: Checkpoint/restore cost model (disabled by default). When
+    #: enabled, engines pay periodic checkpoint upload I/O and crash
+    #: recovery pays a state-restore downtime instead of the flat
+    #: ``rescale_downtime_s``.
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     seed: int = 0
     sim: SimulationConfig = field(default_factory=SimulationConfig)
 
@@ -65,6 +87,46 @@ class ControllerConfig:
             raise ValueError("policy_interval_s must be positive")
         if self.activation_time_s < 0 or self.rescale_downtime_s < 0:
             raise ValueError("times must be non-negative")
+        if self.search_timeout_s <= 0:
+            raise ValueError(
+                f"search_timeout_s must be positive, got {self.search_timeout_s}"
+            )
+        if self.autotune_timeout_s <= 0:
+            raise ValueError(
+                f"autotune_timeout_s must be positive, got {self.autotune_timeout_s}"
+            )
+        if self.rescale_cooldown_s < 0:
+            raise ValueError("rescale_cooldown_s must be non-negative")
+        if self.rescale_backoff_factor < 1.0:
+            raise ValueError("rescale_backoff_factor must be >= 1")
+        if self.rescale_cooldown_max_s < self.rescale_cooldown_s:
+            raise ValueError(
+                "rescale_cooldown_max_s must be >= rescale_cooldown_s"
+            )
+
+
+def next_cooldown(
+    config: ControllerConfig, cooldown_s: float, elapsed_since_last_s: float
+) -> float:
+    """Cooldown to apply after a rescale fires.
+
+    Exponential backoff against flapping: when the rescale fired while
+    the previous window was still warm (within the current gate plus one
+    policy interval), the cooldown grows by ``rescale_backoff_factor``
+    up to ``rescale_cooldown_max_s``; a rescale landing after a long
+    quiet period resets it to the configured base. A base of 0 disables
+    the mechanism entirely.
+    """
+    base = config.rescale_cooldown_s
+    if base <= 0:
+        return 0.0
+    window = max(config.activation_time_s, cooldown_s) + config.policy_interval_s
+    if elapsed_since_last_s <= window:
+        return min(
+            max(cooldown_s, base) * config.rescale_backoff_factor,
+            config.rescale_cooldown_max_s,
+        )
+    return base
 
 
 @dataclass
@@ -174,6 +236,9 @@ class CAPSysController:
             dict(unit_costs) if unit_costs is not None else None
         )
         self._rng = random.Random(self.config.seed)
+        #: Fallback stage of the most recent placement (see
+        #: :meth:`place`); ``None`` when the search produced the plan.
+        self.last_placement_fallback: Optional[str] = None
         self.ds2 = DS2Controller(
             graph,
             max_parallelism=cluster.total_slots,
@@ -195,17 +260,21 @@ class CAPSysController:
             self._unit_costs = profiler.profile(self.graph)
         return dict(self._unit_costs)
 
-    def _fit_to_cluster(self, parallelism: Mapping[str, int]) -> Dict[str, int]:
+    def _fit_to_cluster(
+        self, parallelism: Mapping[str, int], budget: Optional[int] = None
+    ) -> Dict[str, int]:
         """Cap a scaling decision to the cluster's slot budget.
 
         DS2 with contention-corrupted metrics can demand more tasks than
         the (fixed) cluster has slots; a real deployment cannot grant
         that, so the largest operators are trimmed first until the
         decision fits. Sources are never trimmed below their configured
-        parallelism.
+        parallelism. ``budget`` overrides the slot count for a
+        fault-degraded cluster (surviving slots only).
         """
         fitted = dict(parallelism)
-        budget = self.cluster.total_slots
+        if budget is None:
+            budget = self.cluster.total_slots
         sources = set(self.graph.sources())
         while sum(fitted.values()) > budget:
             candidates = [
@@ -260,33 +329,60 @@ class CAPSysController:
         self,
         physical: PhysicalGraph,
         target_rates: Mapping[str, float],
+        cluster: Optional[Cluster] = None,
     ) -> PlacementPlan:
-        """Step 4: compute the placement for a physical graph."""
+        """Step 4: compute the placement for a physical graph.
+
+        ``cluster`` overrides the search space (e.g. the surviving
+        workers of a fault-degraded cluster); defaults to the full
+        cluster. :attr:`last_placement_fallback` records whether the
+        strategy degraded past its normal search (see
+        :attr:`repro.placement.caps.CapsStrategy.last_fallback`).
+        """
         source_rates = {
             (self.graph.job_id, op): float(rate) for op, rate in target_rates.items()
         }
         strategy = self._make_strategy(source_rates)
-        return strategy.place_validated(physical, self.cluster)
+        plan = strategy.place_validated(
+            physical, self.cluster if cluster is None else cluster
+        )
+        self.last_placement_fallback = getattr(strategy, "last_fallback", None)
+        return plan
 
     def deploy(
         self,
         target_rates: Mapping[str, Union[float, RatePattern]],
         parallelism: Optional[Mapping[str, int]] = None,
         started_at_s: float = 0.0,
+        health: Optional[ClusterHealth] = None,
     ) -> Deployment:
-        """Steps 3-6: scale, place, and start an engine."""
+        """Steps 3-6: scale, place, and start an engine.
+
+        When a :class:`~repro.faults.ClusterHealth` is given, placement
+        searches only the surviving workers — with degradations baked
+        into their specs, so CAPS steers load away from stragglers —
+        while the engine runs the survivors at their original specs with
+        the degradation factors applied at runtime, so a later
+        ``recover`` event can lift them mid-epoch.
+        """
         plain_rates = {
             op: (rate(0.0) if isinstance(rate, RatePattern) else float(rate))
             for op, rate in target_rates.items()
         }
+        engine_cluster = (
+            self.cluster if health is None else health.engine_cluster()
+        )
+        search_cluster = (
+            self.cluster if health is None else health.placement_cluster()
+        )
         if parallelism is None:
             parallelism = self.initial_parallelism(plain_rates)
         scaled = self.graph.with_parallelism(dict(parallelism))
         physical = PhysicalGraph.expand(scaled)
-        plan = self.place(physical, plain_rates)
+        plan = self.place(physical, plain_rates, cluster=search_cluster)
         engine = FluidSimulation(
             physical,
-            self.cluster,
+            engine_cluster,
             plan,
             {(scaled.job_id, op): rate for op, rate in target_rates.items()},
             config=self.config.sim,
@@ -295,6 +391,10 @@ class CAPSysController:
             registry=self.registry,
         )
         engine.trace_time_offset_s = started_at_s
+        if health is not None:
+            engine.apply_worker_factors(*health.factor_arrays(engine_cluster))
+        if self.config.checkpoint.enabled:
+            engine.enable_checkpoints(self.config.checkpoint, registry=self.registry)
         deployment = Deployment(
             graph=scaled,
             physical=physical,
@@ -322,6 +422,21 @@ class CAPSysController:
                 "controller_total_tasks",
                 help="Tasks in the current deployment.",
             ).set(deployment.total_tasks)
+        if self.last_placement_fallback is not None:
+            if tr is not None and tr.enabled:
+                tr.event(
+                    "sim",
+                    "controller.fallback",
+                    started_at_s,
+                    cat="controller",
+                    args={"stage": self.last_placement_fallback},
+                )
+            if self.registry is not None:
+                self.registry.counter(
+                    "controller_fallback_total",
+                    labels={"stage": self.last_placement_fallback},
+                    help="Deployments placed via a fallback stage.",
+                ).inc()
         return deployment
 
     # ------------------------------------------------------------------
@@ -332,6 +447,7 @@ class CAPSysController:
         patterns: Mapping[str, RatePattern],
         duration_s: float,
         initial_parallelism: Optional[Mapping[str, int]] = None,
+        chaos: Optional[ChaosSchedule] = None,
     ) -> AdaptiveRunResult:
         """Run under a variable workload, letting DS2 trigger rescaling.
 
@@ -341,27 +457,99 @@ class CAPSysController:
             duration_s: Total experiment duration (downtime included).
             initial_parallelism: Starting parallelism (the convergence
                 experiment starts every operator at 1).
+            chaos: Optional deterministic fault schedule. Structural
+                faults that invalidate the running plan (a crash of a
+                worker hosting tasks, a slot loss that displaces tasks)
+                force an immediate replan on the surviving cluster;
+                everything else (recoveries, degradations, harmless
+                structural events) schedules an opportunistic replan at
+                the next un-gated policy tick. Degradations also take
+                effect on the running engine immediately.
 
         Returns:
             The stitched timeline with all enacted scaling decisions.
         """
         cfg = self.config
         result = AdaptiveRunResult()
+        health = ClusterHealth(self.cluster)
+        # `health` threads through deploys only under chaos so the
+        # no-chaos path stays byte-identical to the pre-fault loop.
+        health_arg = health if chaos else None
+        pending = deque(chaos.events) if chaos else deque()
         deployment = self.deploy(
             {op: TimeShiftedRate(p, 0.0) for op, p in patterns.items()},
             parallelism=initial_parallelism,
             started_at_s=0.0,
+            health=health_arg,
         )
         now = 0.0
         last_rescale = 0.0
+        cooldown = cfg.rescale_cooldown_s
+        pending_replan: Optional[str] = None
 
         while now < duration_s - 1e-9:
+            # ---- chaos events due now ------------------------------
+            forced_reason: Optional[str] = None
+            forced_downtime: Optional[float] = None
+            while pending and pending[0].time_s <= now + 1e-9:
+                ev = pending.popleft()
+                occupied = len(deployment.plan.tasks_on(ev.worker_id))
+                if ev.kind == "crash" and occupied:
+                    # Measure recovery cost against the engine state
+                    # *before* the worker's books are wiped.
+                    forced_downtime = max(
+                        forced_downtime or 0.0,
+                        self._recovery_downtime(deployment, ev.worker_id),
+                    )
+                health.apply(ev)
+                observe_fault(ev, tracer=self.tracer, registry=self.registry)
+                # Dead/degraded workers take effect on the running
+                # engine immediately; replanning happens below.
+                deployment.engine.apply_worker_factors(
+                    *health.factor_arrays(deployment.engine.cluster)
+                )
+                reason = f"fault:{ev.kind}:w{ev.worker_id}"
+                displaced = ev.kind == "crash" and occupied
+                displaced = displaced or (
+                    ev.kind == "slots" and occupied > health.slots_of(ev.worker_id)
+                )
+                if displaced:
+                    forced_reason = forced_reason or reason
+                elif pending_replan is None:
+                    pending_replan = reason
+
+            if forced_reason is not None:
+                fitted = self._fit_to_cluster(
+                    deployment.parallelism, budget=health.total_slots()
+                )
+                elapsed = now - last_rescale
+                deployment, now = self._enact_rescale(
+                    result,
+                    deployment,
+                    now,
+                    patterns,
+                    fitted,
+                    forced_reason,
+                    health_arg,
+                    downtime_s=forced_downtime,
+                )
+                cooldown = next_cooldown(cfg, cooldown, elapsed)
+                last_rescale = now
+                pending_replan = None
+                continue
+
+            # ---- advance to the next policy tick or chaos event ----
             horizon = min(now + cfg.policy_interval_s, duration_s)
+            if pending and pending[0].time_s < horizon - 1e-9:
+                horizon = max(pending[0].time_s, now + cfg.sim.dt)
             deployment.engine.run_until(horizon - deployment.started_at_s)
             now = deployment.started_at_s + deployment.engine.time_s
             self._drain_samples(deployment, result)
 
-            if now - last_rescale < cfg.activation_time_s or now >= duration_s - 1e-9:
+            gate = max(cfg.activation_time_s, cooldown)
+            if now - last_rescale < gate or now >= duration_s - 1e-9:
+                if pending_replan is not None and now < duration_s - 1e-9:
+                    self._observe_suppressed(now, pending_replan)
                 continue
             target = {op: patterns[op](now) for op in patterns}
             rates = aggregate_operator_rates(
@@ -387,52 +575,113 @@ class CAPSysController:
                     "controller_ds2_decisions_total",
                     help="DS2 scaling decisions evaluated.",
                 ).inc()
-            if not decision.changed:
+            if not decision.changed and pending_replan is None:
                 continue
-            fitted = self._fit_to_cluster(decision.parallelism)
-            result.events.append(
-                RescaleEvent(
-                    time_s=now,
-                    old_parallelism=deployment.parallelism,
-                    new_parallelism=dict(fitted),
-                )
+            reason = "ds2" if decision.changed else pending_replan
+            fitted = self._fit_to_cluster(
+                decision.parallelism if decision.changed else deployment.parallelism,
+                budget=health.total_slots() if chaos else None,
             )
-            if tr is not None and tr.enabled:
-                tr.event(
-                    "sim",
-                    "controller.rescale",
-                    now,
-                    cat="controller",
-                    args={
-                        "old_tasks": deployment.total_tasks,
-                        "new_tasks": sum(fitted.values()),
-                        "new_parallelism": _parallelism_str(fitted),
-                    },
-                )
-            if self.registry is not None:
-                self.registry.counter(
-                    "controller_rescales_total", help="Rescales enacted."
-                ).inc()
-            downtime_start = now
-            now = self._apply_downtime(result, now, target, fitted)
-            if tr is not None and tr.enabled:
-                tr.span(
-                    "sim",
-                    "controller.rescale.downtime",
-                    downtime_start,
-                    now,
-                    cat="controller",
-                )
-            deployment = self.deploy(
-                {
-                    op: TimeShiftedRate(patterns[op], now)
-                    for op in patterns
-                },
-                parallelism=fitted,
-                started_at_s=now,
+            elapsed = now - last_rescale
+            deployment, now = self._enact_rescale(
+                result, deployment, now, patterns, fitted, reason, health_arg
             )
+            cooldown = next_cooldown(cfg, cooldown, elapsed)
             last_rescale = now
+            pending_replan = None
         return result
+
+    def _enact_rescale(
+        self,
+        result: AdaptiveRunResult,
+        deployment: Deployment,
+        now: float,
+        patterns: Mapping[str, RatePattern],
+        fitted: Mapping[str, int],
+        reason: str,
+        health: Optional[ClusterHealth],
+        downtime_s: Optional[float] = None,
+    ) -> Tuple[Deployment, float]:
+        """Record, pay downtime for, and redeploy one rescale."""
+        target = {op: patterns[op](now) for op in patterns}
+        result.events.append(
+            RescaleEvent(
+                time_s=now,
+                old_parallelism=deployment.parallelism,
+                new_parallelism=dict(fitted),
+                reason=reason,
+            )
+        )
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "controller.rescale",
+                now,
+                cat="controller",
+                args={
+                    "old_tasks": deployment.total_tasks,
+                    "new_tasks": sum(fitted.values()),
+                    "new_parallelism": _parallelism_str(fitted),
+                    "reason": reason,
+                },
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "controller_rescales_total", help="Rescales enacted."
+            ).inc()
+        downtime_start = now
+        now = self._apply_downtime(result, now, target, fitted, downtime_s=downtime_s)
+        if tr is not None and tr.enabled:
+            tr.span(
+                "sim",
+                "controller.rescale.downtime",
+                downtime_start,
+                now,
+                cat="controller",
+            )
+        deployment = self.deploy(
+            {op: TimeShiftedRate(patterns[op], now) for op in patterns},
+            parallelism=fitted,
+            started_at_s=now,
+            health=health,
+        )
+        return deployment, now
+
+    def _observe_suppressed(self, now: float, reason: str) -> None:
+        """A wanted replan deferred by the activation/cooldown gate."""
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "controller.rescale.suppressed",
+                now,
+                cat="controller",
+                args={"reason": reason},
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "controller_rescales_suppressed_total",
+                help="Replans deferred by the rescale gate.",
+            ).inc()
+
+    def _recovery_downtime(self, deployment: Deployment, worker_id: int) -> float:
+        """Downtime for recovering a crashed worker's state.
+
+        Flat ``rescale_downtime_s`` when the checkpoint model is off;
+        otherwise restart plus restoring the worker's durable state plus
+        replaying everything since its last checkpoint
+        (:func:`repro.faults.recovery_downtime`).
+        """
+        cfg = self.config
+        engine = deployment.engine
+        ids = [w.worker_id for w in engine.cluster.workers]
+        if not cfg.checkpoint.enabled or worker_id not in ids:
+            return cfg.rescale_downtime_s
+        idx = ids.index(worker_id)
+        durable = float(engine.durable_state_bytes()[idx])
+        since = max(0.0, engine.time_s - engine.last_checkpoint_s)
+        return recovery_downtime(cfg.checkpoint, cfg.rescale_downtime_s, durable, since)
 
     def _drain_samples(
         self, deployment: Deployment, result: AdaptiveRunResult
@@ -458,12 +707,21 @@ class CAPSysController:
         now: float,
         target: Mapping[str, float],
         new_parallelism: Mapping[str, int],
+        downtime_s: Optional[float] = None,
     ) -> float:
-        """Append restart-downtime samples and advance the clock."""
+        """Append restart-downtime samples and advance the clock.
+
+        ``downtime_s`` overrides the flat restart cost (crash recovery
+        with the checkpoint model enabled); the clock advances by a
+        whole number of simulation steps so back-to-back rescales never
+        double-count a partial step's downtime.
+        """
         cfg = self.config
         total_target = float(sum(target.values()))
         total_tasks = sum(new_parallelism.values())
-        steps = int(round(cfg.rescale_downtime_s / cfg.sim.dt))
+        if downtime_s is None:
+            downtime_s = cfg.rescale_downtime_s
+        steps = int(round(downtime_s / cfg.sim.dt))
         for i in range(steps):
             result.samples.append(
                 TimelineSample(

@@ -29,10 +29,14 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.observability import clock
+from repro.observability import MetricRegistry, clock
 from repro.core.cost_model import CostModel, CostVector
 from repro.core.pareto import ParetoFront
 from repro.core.parallel import (
@@ -57,6 +61,7 @@ def run_search(
     limits: Optional[SearchLimits] = None,
     backend: str = "sequential",
     jobs: Optional[int] = None,
+    registry: Optional[MetricRegistry] = None,
 ) -> SearchResult:
     """Run a configured search on the named backend.
 
@@ -64,14 +69,16 @@ def run_search(
     controller, and the CLI: ``sequential`` runs the in-process DFS,
     ``thread`` the GIL-bound thread pool (paper structure), ``process``
     the multicore pool. ``jobs`` is the worker count for the parallel
-    backends (default: one per core).
+    backends (default: one per core). ``registry`` (process backend
+    only) accumulates the ``search_backend_fallback_total`` counter when
+    a broken pool degrades the search to sequential.
     """
     if backend == "sequential":
         return search.run(limits)
     if backend == "thread":
         return ParallelCapsSearch(search, threads=jobs or default_jobs()).run(limits)
     if backend == "process":
-        return ProcessCapsSearch(search, jobs=jobs).run(limits)
+        return ProcessCapsSearch(search, jobs=jobs, registry=registry).run(limits)
     raise ValueError(
         f"unknown search backend {backend!r}; expected one of {SEARCH_BACKENDS}"
     )
@@ -145,17 +152,22 @@ class _ProcessBeacon:
         return None if raw < 0 else raw
 
 
-# Per-process pool worker state, installed by _init_worker.
+# Per-process pool worker state, installed by _init_worker. The
+# initializer runs before any task in each pool process, but executors
+# may one day drive it from threads — the lock makes the install safe
+# either way.
+_WORKER_STATE_LOCK = threading.Lock()
 _WORKER_SEARCH: Optional[CapsSearch] = None
 _WORKER_BEACON: Optional[_ProcessBeacon] = None
 
 
 def _init_worker(spec: SearchSpec, beacon_value) -> None:
     global _WORKER_SEARCH, _WORKER_BEACON
-    _WORKER_SEARCH = spec.build()  # repro: allow[RACE001] per-process state set by the pool initializer before any task runs
-    _WORKER_BEACON = (
-        _ProcessBeacon(beacon_value) if beacon_value is not None else None
-    )
+    with _WORKER_STATE_LOCK:
+        _WORKER_SEARCH = spec.build()
+        _WORKER_BEACON = (
+            _ProcessBeacon(beacon_value) if beacon_value is not None else None
+        )
 
 
 def _run_partition(
@@ -181,6 +193,8 @@ class ProcessCapsSearch:
         jobs: Number of worker processes (default: one per core).
         start_method: ``multiprocessing`` start method; ``fork`` (when
             available) avoids re-importing the world in each child.
+        registry: Optional metric registry; counts pool-breakage
+            fallbacks under ``search_backend_fallback_total``.
     """
 
     def __init__(
@@ -188,6 +202,7 @@ class ProcessCapsSearch:
         search: CapsSearch,
         jobs: Optional[int] = None,
         start_method: Optional[str] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         jobs = default_jobs() if jobs is None else jobs
         if jobs < 1:
@@ -198,6 +213,7 @@ class ProcessCapsSearch:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self.start_method = start_method
+        self.registry = registry
 
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         limits = limits or SearchLimits()
@@ -218,7 +234,26 @@ class ProcessCapsSearch:
         if len(partitions) == 1:
             results = self._run_inline(limits, partitions)
         else:
-            results = self._run_pool(limits, partitions)
+            try:
+                results = self._run_pool(limits, partitions)
+            except BrokenProcessPool:
+                # A worker died mid-search (OOM kill, hard crash). The
+                # search inputs are deterministic, so rerunning the same
+                # partitions inline yields the same merged result the
+                # pool would have produced — slower, never wrong.
+                warnings.warn(
+                    "placement search process pool broke (a worker died "
+                    "abruptly); degrading to the sequential in-process "
+                    "search",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                if self.registry is not None:
+                    self.registry.counter(
+                        "search_backend_fallback_total",
+                        help="Process-pool searches degraded to sequential.",
+                    ).inc()
+                results = self._run_inline(limits, partitions)
         return merge_partition_results(
             self.search, enumeration, results, clock.elapsed_since(started)
         )
@@ -244,14 +279,14 @@ class ProcessCapsSearch:
             ctx.Value("q", -1) if limits.first_satisfying else None
         )
         spec = SearchSpec.from_search(self.search)
-        pool = ctx.Pool(
-            processes=len(partitions),
+        tasks = [(limits, part) for part in partitions]
+        # concurrent.futures (unlike mp.Pool) surfaces abrupt worker
+        # death as BrokenProcessPool instead of hanging, which is what
+        # lets run() degrade to the sequential path.
+        with ProcessPoolExecutor(
+            max_workers=len(partitions),
+            mp_context=ctx,
             initializer=_init_worker,
             initargs=(spec, beacon_value),
-        )
-        try:
-            tasks = [(limits, part) for part in partitions]
-            return pool.map(_run_partition, tasks, chunksize=1)
-        finally:
-            pool.close()
-            pool.join()
+        ) as pool:
+            return list(pool.map(_run_partition, tasks, chunksize=1))

@@ -1,0 +1,32 @@
+"""Fault injection & recovery: the chaos layer (DESIGN.md section 8).
+
+Deterministic chaos schedules (:mod:`repro.faults.schedule`), cluster
+health bookkeeping for degraded-mode control
+(:mod:`repro.faults.health`), the checkpoint/restore cost model
+(:mod:`repro.faults.checkpoint`), and the engine-side fault driver plus
+shared fault observability (:mod:`repro.faults.injector`).
+"""
+
+from repro.faults.checkpoint import CheckpointConfig, recovery_downtime
+from repro.faults.health import ClusterHealth
+from repro.faults.injector import EngineFaultDriver, observe_fault
+from repro.faults.schedule import (
+    DEGRADE_KINDS,
+    FAULT_KINDS,
+    STRUCTURAL_KINDS,
+    ChaosSchedule,
+    FaultEvent,
+)
+
+__all__ = [
+    "ChaosSchedule",
+    "CheckpointConfig",
+    "ClusterHealth",
+    "DEGRADE_KINDS",
+    "EngineFaultDriver",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "STRUCTURAL_KINDS",
+    "observe_fault",
+    "recovery_downtime",
+]

@@ -1,0 +1,102 @@
+"""Checkpoint/restore cost model.
+
+Flink's fault tolerance rests on periodic checkpoints: state backends
+upload their delta to durable storage every interval, and recovery from
+a worker loss restores the last completed checkpoint and replays the
+stream since. Two costs follow, and both are modelled here:
+
+1. **Steady-state checkpoint cost**: uploading the dirty state competes
+   with foreground state-backend I/O for the worker's disk bandwidth.
+   The engine accumulates per-worker dirty bytes, snapshots them at
+   every interval boundary, and drains the upload through the shared
+   :class:`~repro.simulator.state_backend.DiskModel` at up to
+   ``write_bandwidth_share`` of the disk — so checkpoint-heavy state
+   growth visibly eats into throughput, as it does in production.
+2. **Recovery downtime**: when a worker is lost, the job restarts from
+   the last checkpoint. Downtime = base restart time (the controller's
+   ``rescale_downtime_s``, same stop/restart machinery as a rescale)
+   + durable state of the lost worker / restore bandwidth (surviving
+   workers recover locally, Flink's local recovery) + replay of the
+   progress made since the last checkpoint, scaled by
+   ``replay_factor`` (replay runs faster than real time). The sum is
+   capped at ``max_recovery_s``.
+
+The model is fluid like the rest of the simulator: a checkpoint
+"completes" at its trigger time and its upload cost is amortised over
+the following ticks — alignment costs and barrier skew are below the
+tick resolution and are not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MIB = 1024.0 ** 2
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpointing knobs; ``enabled=False`` (default) is cost-free.
+
+    Attributes:
+        enabled: Master switch. Disabled, the engine pays no checkpoint
+            cost and recovery falls back to the plain restart downtime.
+        interval_s: Checkpoint trigger period.
+        write_bandwidth_share: Cap on the fraction of a worker's disk
+            bandwidth the checkpoint upload may demand per tick.
+        restore_bandwidth_bytes_per_s: Bandwidth at which a replacement
+            fetches the lost worker's durable state from remote storage.
+        replay_factor: Seconds of replay per second of progress since
+            the last checkpoint (< 1: replay outruns real time).
+        max_recovery_s: Upper bound on the modelled recovery downtime.
+    """
+
+    enabled: bool = False
+    interval_s: float = 30.0
+    write_bandwidth_share: float = 0.2
+    restore_bandwidth_bytes_per_s: float = 200 * MIB
+    replay_factor: float = 0.5
+    max_recovery_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if not 0.0 < self.write_bandwidth_share <= 1.0:
+            raise ValueError("write_bandwidth_share must be in (0, 1]")
+        if self.restore_bandwidth_bytes_per_s <= 0:
+            raise ValueError("restore_bandwidth_bytes_per_s must be positive")
+        if self.replay_factor < 0:
+            raise ValueError("replay_factor must be non-negative")
+        if self.max_recovery_s <= 0:
+            raise ValueError("max_recovery_s must be positive")
+
+
+def recovery_downtime(
+    config: CheckpointConfig,
+    restart_s: float,
+    restore_bytes: float,
+    time_since_checkpoint_s: float,
+) -> float:
+    """Modelled downtime for recovering from a lost worker.
+
+    Args:
+        config: The checkpoint configuration.
+        restart_s: Base stop/redeploy/restart time (the controller's
+            plain rescale downtime).
+        restore_bytes: Durable state of the lost worker that must be
+            re-fetched from remote storage.
+        time_since_checkpoint_s: Progress since the last completed
+            checkpoint that must be replayed.
+
+    Returns:
+        The total downtime in seconds; ``restart_s`` alone when
+        checkpointing is disabled, never below ``restart_s`` and never
+        above ``max(restart_s, config.max_recovery_s)``.
+    """
+    if restart_s < 0:
+        raise ValueError("restart_s must be non-negative")
+    if not config.enabled:
+        return restart_s
+    restore_s = max(0.0, restore_bytes) / config.restore_bandwidth_bytes_per_s
+    replay_s = config.replay_factor * max(0.0, time_since_checkpoint_s)
+    return min(restart_s + restore_s + replay_s, max(restart_s, config.max_recovery_s))

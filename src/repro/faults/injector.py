@@ -1,0 +1,146 @@
+"""Engine-side fault injection and shared fault observability.
+
+Two consumers replay a :class:`~repro.faults.schedule.ChaosSchedule`:
+
+- the **adaptive controller** processes events itself (it must stop the
+  engine at each event, replan around crashes, and account recovery
+  downtime), applying capacity changes through
+  :meth:`FluidSimulation.apply_worker_factors`;
+- a **standalone engine** (``cli place --chaos``, static-placement
+  experiments, tests) attaches an :class:`EngineFaultDriver`, which the
+  engine polls every tick: due events become capacity/alive mutations
+  with no replanning — the "no controller" ablation.
+
+Both paths report each injected event through :func:`observe_fault`, so
+the trace event names and metric labels are identical regardless of who
+replayed the schedule — the CI chaos gate diffs these records.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dataflow.cluster import Cluster
+from repro.faults.schedule import ChaosSchedule, FaultEvent, _sort_key
+from repro.observability import MetricRegistry, Tracer
+
+
+def observe_fault(
+    event: FaultEvent,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricRegistry] = None,
+) -> None:
+    """Emit the canonical trace event + metric for one injected fault.
+
+    The trace record lives in the ``sim`` clock domain at the event's
+    scheduled time: fault injection is part of the simulated world, so
+    identically-seeded runs must reproduce it byte-for-byte.
+    """
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "sim",
+            f"fault.{event.kind}",
+            event.time_s,
+            cat="fault",
+            args={"worker": event.worker_id, "magnitude": event.magnitude},
+        )
+    if registry is not None:
+        registry.counter(
+            "faults_injected_total",
+            labels={"kind": event.kind},
+            help="Chaos fault events injected, by kind.",
+        ).inc()
+
+
+class EngineFaultDriver:
+    """Replays chaos events onto one engine as capacity mutations.
+
+    Args:
+        schedule: A :class:`ChaosSchedule` or an iterable of events.
+        cluster: The cluster the engine was built on; every event must
+            name one of its workers.
+        tracer: Optional tracer for the ``fault.*`` sim-domain events.
+        registry: Optional registry for the injection counters.
+
+    The driver holds per-worker factor state: ``crash`` marks a worker
+    dead (the engine zeroes its demand), ``recover`` restores it to
+    pristine, degrade kinds keep the worst remaining fraction per
+    dimension, and ``slots`` is a placement-level event with no engine
+    capacity effect (still traced). :meth:`poll` is called by the engine
+    at the start of every tick with the absolute simulated time and
+    returns the updated factor arrays only when an event fired.
+    """
+
+    def __init__(
+        self,
+        schedule: Union[ChaosSchedule, Iterable[FaultEvent]],
+        cluster: Cluster,
+        tracer: Optional[Tracer] = None,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        events = (
+            schedule.events
+            if isinstance(schedule, ChaosSchedule)
+            else tuple(sorted(schedule, key=_sort_key))
+        )
+        self._index = {w.worker_id: i for i, w in enumerate(cluster.workers)}
+        for event in events:
+            if event.worker_id not in self._index:
+                raise KeyError(
+                    f"chaos event {event.spec()!r} names a worker not in "
+                    f"the cluster (ids: {sorted(self._index)})"
+                )
+        self._pending = deque(events)
+        n = len(cluster.workers)
+        self._cpu = np.ones(n)
+        self._disk = np.ones(n)
+        self._net = np.ones(n)
+        self._alive = np.ones(n, dtype=bool)
+        self.tracer = tracer
+        self.registry = registry
+        #: Events already fired, in firing order (diagnostics/tests).
+        self.applied: List[FaultEvent] = []
+
+    def poll(
+        self, time_s: float
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Fire every event due at ``time_s``; factors when any fired."""
+        fired = False
+        while self._pending and self._pending[0].time_s <= time_s + 1e-9:
+            self._apply(self._pending.popleft())
+            fired = True
+        if not fired:
+            return None
+        return (
+            self._cpu.copy(),
+            self._disk.copy(),
+            self._net.copy(),
+            self._alive.copy(),
+        )
+
+    def _apply(self, event: FaultEvent) -> None:
+        i = self._index[event.worker_id]
+        if event.kind == "crash":
+            self._alive[i] = False
+        elif event.kind == "recover":
+            self._alive[i] = True
+            self._cpu[i] = 1.0
+            self._disk[i] = 1.0
+            self._net[i] = 1.0
+        elif event.kind == "cpu":
+            self._cpu[i] = min(self._cpu[i], event.magnitude)
+        elif event.kind == "disk":
+            self._disk[i] = min(self._disk[i], event.magnitude)
+        elif event.kind == "net":
+            self._net[i] = min(self._net[i], event.magnitude)
+        # "slots" changes the placement search space only; no capacity
+        # effect on a running engine, but the injection is still traced.
+        self.applied.append(event)
+        observe_fault(event, self.tracer, self.registry)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._pending

@@ -1,0 +1,187 @@
+"""Deterministic chaos schedules: timed fault events for one run.
+
+A chaos schedule is an explicit, ordered list of :class:`FaultEvent`
+records — there is no hidden randomness. Determinism is the whole
+point: two runs driven by the same schedule (and the same simulator
+seed) must be byte-identical in the sim-domain trace, which is what the
+CI chaos gate asserts. Anything stochastic (fuzzed fault times, random
+victim selection) must be resolved *outside* the schedule, producing a
+concrete event list that can be replayed.
+
+Events come in two families:
+
+- **structural** (``crash``, ``recover``, ``slots``): they change which
+  workers/slots exist, so the controller must replan around them;
+- **degradation** (``disk``, ``net``, ``cpu``): a straggler keeps its
+  slots but loses a fraction of one capacity — the magnitude is the
+  *remaining* fraction (``x0.5`` halves the bandwidth).
+
+The one-line spec grammar wired through ``--chaos`` is a comma-joined
+list of ``kind:w<worker>@<time>[x<magnitude>]`` tokens, e.g.::
+
+    crash:w3@120,recover:w3@300,disk:w1@200x0.5,slots:w2@100x2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+#: Recognised fault kinds, in canonical order (used for deterministic
+#: tie-breaking of same-time events).
+FAULT_KINDS = ("crash", "recover", "slots", "disk", "net", "cpu")
+
+#: Kinds that change the set of usable workers/slots; the controller
+#: handles these (replan, blacklisting), not the engine capacities.
+STRUCTURAL_KINDS = ("crash", "recover", "slots")
+
+#: Kinds that scale one capacity dimension of a live worker.
+DEGRADE_KINDS = ("disk", "net", "cpu")
+
+#: Default remaining-capacity fraction when a degrade token omits ``x``.
+DEFAULT_DEGRADE_MAGNITUDE = 0.5
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault (or recovery) aimed at one worker.
+
+    Attributes:
+        time_s: Absolute simulated time the event fires.
+        kind: One of :data:`FAULT_KINDS`.
+        worker_id: The victim worker's id.
+        magnitude: Remaining capacity fraction in (0, 1] for degrade
+            kinds; the number of slots lost (>= 1) for ``slots``;
+            ignored (1.0) for ``crash``/``recover``.
+    """
+
+    time_s: float
+    kind: str
+    worker_id: int
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.time_s < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.worker_id < 0:
+            raise ValueError("worker_id must be non-negative")
+        if self.kind in DEGRADE_KINDS and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError(
+                f"{self.kind} magnitude is the remaining capacity fraction "
+                f"and must be in (0, 1]; got {self.magnitude}"
+            )
+        if self.kind == "slots":
+            if self.magnitude < 1 or self.magnitude != int(self.magnitude):
+                raise ValueError(
+                    f"slots magnitude is the number of slots lost and must "
+                    f"be a positive integer; got {self.magnitude}"
+                )
+
+    @property
+    def structural(self) -> bool:
+        return self.kind in STRUCTURAL_KINDS
+
+    def spec(self) -> str:
+        """The token form that :meth:`ChaosSchedule.parse` round-trips."""
+        base = f"{self.kind}:w{self.worker_id}@{self.time_s:g}"
+        if self.kind in DEGRADE_KINDS or self.kind == "slots":
+            return f"{base}x{self.magnitude:g}"
+        return base
+
+
+def _sort_key(event: FaultEvent) -> Tuple[float, int, int]:
+    return (event.time_s, event.worker_id, FAULT_KINDS.index(event.kind))
+
+
+class ChaosSchedule:
+    """An immutable, time-sorted sequence of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=_sort_key)
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosSchedule":
+        """Parse the ``--chaos`` one-liner grammar.
+
+        Tokens are ``kind:w<worker>@<time>`` with an optional
+        ``x<magnitude>`` suffix, joined by commas. Degrade tokens
+        without a magnitude default to ``x0.5``.
+        """
+        events = []
+        for raw in spec.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            try:
+                kind, rest = token.split(":", 1)
+                worker, timing = rest.split("@", 1)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos token {token!r}; expected "
+                    f"kind:w<worker>@<time>[x<magnitude>]"
+                ) from None
+            if not worker.startswith("w") or not worker[1:].isdigit():
+                raise ValueError(
+                    f"bad worker {worker!r} in chaos token {token!r}; "
+                    f"expected w<id>"
+                )
+            worker_id = int(worker[1:])
+            if "x" in timing:
+                time_str, mag_str = timing.split("x", 1)
+                try:
+                    magnitude = float(mag_str)
+                except ValueError:
+                    raise ValueError(
+                        f"bad magnitude {mag_str!r} in chaos token {token!r}"
+                    ) from None
+            else:
+                time_str = timing
+                magnitude = (
+                    DEFAULT_DEGRADE_MAGNITUDE if kind in DEGRADE_KINDS else 1.0
+                )
+            try:
+                time_s = float(time_str)
+            except ValueError:
+                raise ValueError(
+                    f"bad time {time_str!r} in chaos token {token!r}"
+                ) from None
+            events.append(FaultEvent(time_s, kind, worker_id, magnitude))
+        return cls(events)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def spec(self) -> str:
+        """Canonical spec string (``parse(s.spec())`` equals ``s``)."""
+        return ",".join(event.spec() for event in self._events)
+
+    def worker_ids(self) -> Tuple[int, ...]:
+        """Sorted, de-duplicated victim worker ids."""
+        return tuple(sorted({event.worker_id for event in self._events}))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChaosSchedule):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChaosSchedule({self.spec()!r})"

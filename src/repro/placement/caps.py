@@ -22,6 +22,7 @@ from repro.core.plan import PlacementPlan
 from repro.core.search import CapsSearch, SearchLimits
 from repro.observability import MetricRegistry, NULL_TRACER, Tracer, clock
 from repro.placement.base import PlacementStrategy
+from repro.placement.flink_evenly import FlinkEvenlyStrategy
 
 RateMap = Mapping[Tuple[str, str], float]
 
@@ -101,6 +102,13 @@ class CapsStrategy(PlacementStrategy):
         self.last_cost_model: Optional[CostModel] = None
         self.last_thresholds: Optional[CostVector] = None
         self.last_search_stats = None
+        #: Fallback stage taken by the most recent placement call:
+        #: ``None`` (search or warm start produced the plan normally),
+        #: ``"greedy"`` (search found zero satisfying plans — timed out
+        #: or infeasible thresholds — so the greedy warm start was the
+        #: best-so-far), or ``"evenly"`` (even greedy failed; the plan
+        #: is a deterministic flink_evenly spread).
+        self.last_fallback: Optional[str] = None
 
     def _task_costs(self, physical: PhysicalGraph) -> TaskCosts:
         rates = {
@@ -117,6 +125,7 @@ class CapsStrategy(PlacementStrategy):
         return TaskCosts.from_specs(physical, rates)
 
     def place(self, physical: PhysicalGraph, cluster: Cluster) -> PlacementPlan:
+        self.last_fallback = None
         costs = self._task_costs(physical)
         cost_model = CostModel(physical, cluster, costs)
         self.last_cost_model = cost_model
@@ -130,12 +139,17 @@ class CapsStrategy(PlacementStrategy):
         # 20-thread Java search explores the same space orders of
         # magnitude faster than a Python DFS; the warm start keeps the
         # result quality honest at multi-tenant scale within an online
-        # time budget.
-        greedy_plan = greedy_balanced_plan(cost_model, weights)
-        greedy_cost = cost_model.cost(greedy_plan)
+        # time budget. It may fail on a tight (e.g. fault-degraded)
+        # cluster; the search and the evenly fallback below still run.
+        try:
+            greedy_plan = greedy_balanced_plan(cost_model, weights)
+            greedy_cost = cost_model.cost(greedy_plan)
+        except RuntimeError:
+            greedy_plan = None
+            greedy_cost = None
 
         thresholds = self.thresholds
-        if thresholds is None:
+        if thresholds is None and greedy_plan is not None:
             seed = greedy_threshold_seed(cost_model)
             if len(physical.tasks) <= self.autotune_task_limit:
                 tuner = ThresholdAutoTuner(
@@ -182,7 +196,11 @@ class CapsStrategy(PlacementStrategy):
             "caps.search", cat="search", backend=self.backend
         ) as span:
             result = run_search(
-                search, limits, backend=self.backend, jobs=self.jobs
+                search,
+                limits,
+                backend=self.backend,
+                jobs=self.jobs,
+                registry=self.registry,
             )
             stats = result.stats
             span.set(
@@ -197,14 +215,40 @@ class CapsStrategy(PlacementStrategy):
             )
         self.last_search_stats = stats
         self._observe_search(search, stats, tr)
-        if (
-            result.best_plan is not None
-            and result.best_cost is not None
-            and result.best_cost.weighted_total(weights)
-            < greedy_cost.weighted_total(weights)
-        ):
-            return result.best_plan
-        return greedy_plan
+        if result.best_plan is not None and result.best_cost is not None:
+            if greedy_plan is None or result.best_cost.weighted_total(
+                weights
+            ) < greedy_cost.weighted_total(weights):
+                return result.best_plan
+            return greedy_plan
+        # Fallback chain: the search found zero satisfying plans (timed
+        # out, or the thresholds are infeasible on this — possibly
+        # fault-degraded — cluster). Degrade to the best-so-far greedy
+        # warm start; if even greedy could not fit, fall back to a
+        # deterministic evenly spread so the controller always gets a
+        # deployable plan.
+        if greedy_plan is not None:
+            self._observe_fallback("greedy", tr)
+            return greedy_plan
+        self._observe_fallback("evenly", tr)
+        return FlinkEvenlyStrategy(seed=0).place(physical, cluster)
+
+    def _observe_fallback(self, stage: str, tr: Tracer) -> None:
+        self.last_fallback = stage
+        if tr.enabled:
+            tr.event(
+                "wall",
+                "caps.fallback",
+                clock.monotonic(),
+                cat="search",
+                args={"stage": stage},
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "caps_placement_fallback_total",
+                labels={"stage": stage},
+                help="Placements that fell back past the pareto search.",
+            ).inc()
 
     def _observe_search(self, search: CapsSearch, stats, tr: Tracer) -> None:
         """Per-depth layer events and registry counters for one search.

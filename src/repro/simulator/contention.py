@@ -92,6 +92,26 @@ def proportional_scale(demand: np.ndarray, capacity: np.ndarray) -> np.ndarray:
     return scale
 
 
+def degraded_capacity(
+    base: np.ndarray, factor: np.ndarray, floor_share: float = 1e-6
+) -> np.ndarray:
+    """Capacity after a fault-injected degradation factor.
+
+    ``proportional_scale`` requires strictly positive capacities, so a
+    crashed or fully degraded worker keeps a vanishing ``floor_share``
+    of its base capacity instead of zero; the engine's alive mask
+    zeroes the *demand* on dead workers, which is what actually stops
+    their work.
+    """
+    base = np.asarray(base, dtype=float)
+    factor = np.asarray(factor, dtype=float)
+    if np.any(factor < 0.0) or np.any(factor > 1.0):
+        raise ValueError("degradation factors must be in [0, 1]")
+    if floor_share <= 0:
+        raise ValueError("floor_share must be positive")
+    return np.maximum(base * factor, base * floor_share)
+
+
 def thread_oversubscription_penalty(
     active_threads: np.ndarray, cores: np.ndarray, coeff: float
 ) -> np.ndarray:

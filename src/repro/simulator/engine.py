@@ -42,9 +42,11 @@ from repro.core.plan import PlacementPlan
 from repro.simulator.backpressure import distribute_inflow, throttle_emissions
 from repro.simulator.contention import (
     ContentionConfig,
+    degraded_capacity,
     proportional_scale,
     thread_oversubscription_penalty,
 )
+from repro.faults.checkpoint import CheckpointConfig
 from repro.observability import MetricRegistry, Tracer
 from repro.simulator.metrics import MetricsCollector, TickSample
 from repro.simulator.network import NicModel
@@ -161,6 +163,20 @@ class FluidSimulation:
         self._patterns = self._normalise_source_rates(source_rates)
         self._build_arrays(network_cap_bytes_per_s)
 
+        #: Optional fault driver polled at the start of every tick (set
+        #: post-construction via :meth:`set_fault_driver` — fault state
+        #: is run-scoped, never part of the cacheable simulation input).
+        self.fault_driver = None
+        self._checkpoint: Optional[CheckpointConfig] = None
+        self._ckpt_dirty: Optional[np.ndarray] = None
+        self._ckpt_upload: Optional[np.ndarray] = None
+        self._ckpt_counter = None
+        self._next_checkpoint_s = math.inf
+        #: Local time of the most recent completed checkpoint (0 before
+        #: the first one: the initial deployment snapshot is empty).
+        self.last_checkpoint_s = 0.0
+        self.checkpoints_taken = 0
+
         job_ids = [g.job_id for g in physical.logical_graphs]
         self.metrics = MetricsCollector(
             job_ids=job_ids,
@@ -229,6 +245,13 @@ class FluidSimulation:
         )
         self.disk = DiskModel(disk_capacity, config.contention)
         self.nic = NicModel(net_capacity, config.contention)
+        # Pristine capacity baselines for fault-driven degradation;
+        # apply_worker_factors always rescales from these, so a later
+        # recovery restores the exact original capacities.
+        self._base_cpu_capacity = self.cpu_capacity.copy()
+        self._base_disk_capacity = disk_capacity.copy()
+        self._base_net_capacity = net_capacity.copy()
+        self.worker_alive = np.ones(self._worker_count, dtype=bool)
 
         job_ids = [g.job_id for g in physical.logical_graphs]
         job_pos = {job: i for i, job in enumerate(job_ids)}
@@ -349,6 +372,97 @@ class FluidSimulation:
         }
 
     # ------------------------------------------------------------------
+    # Faults & checkpoints
+    # ------------------------------------------------------------------
+    def set_fault_driver(self, driver) -> None:
+        """Attach an :class:`~repro.faults.injector.EngineFaultDriver`.
+
+        The driver is polled with the absolute simulated time at the
+        start of every tick; due events become capacity/alive mutations
+        via :meth:`apply_worker_factors`. Standalone use only — the
+        adaptive controller replays chaos schedules itself so it can
+        replan around structural faults.
+        """
+        self.fault_driver = driver
+
+    def apply_worker_factors(
+        self,
+        cpu_factor: np.ndarray,
+        disk_factor: np.ndarray,
+        net_factor: np.ndarray,
+        alive: np.ndarray,
+    ) -> None:
+        """Set per-worker capacity factors and the alive mask.
+
+        Factors are remaining-capacity fractions in [0, 1] applied to
+        the pristine baselines (idempotent, never cumulative). Dead
+        workers keep a vanishing capacity floor — their *demand* is
+        zeroed in :meth:`step`, which is what stops their work.
+        """
+        self.cpu_capacity = degraded_capacity(self._base_cpu_capacity, cpu_factor)
+        self.disk.capacity = degraded_capacity(self._base_disk_capacity, disk_factor)
+        self.nic.capacity = degraded_capacity(self._base_net_capacity, net_factor)
+        self.worker_alive = np.asarray(alive, dtype=bool).copy()
+
+    def enable_checkpoints(
+        self,
+        checkpoint: CheckpointConfig,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        """Turn on the periodic checkpoint cost model for this engine.
+
+        Every ``interval_s`` of local time the per-worker dirty state
+        is snapshotted into an upload backlog, which then drains
+        through the shared disk at up to ``write_bandwidth_share`` of
+        the worker's bandwidth — competing with foreground state I/O.
+        """
+        if not checkpoint.enabled:
+            return
+        self._checkpoint = checkpoint
+        self._ckpt_dirty = np.zeros(self._worker_count)
+        self._ckpt_upload = np.zeros(self._worker_count)
+        self._next_checkpoint_s = checkpoint.interval_s
+        if registry is not None:
+            self._ckpt_counter = registry.counter(
+                "checkpoints_total", help="Checkpoints triggered."
+            )
+
+    def durable_state_bytes(self) -> np.ndarray:
+        """Per-worker state covered by the last completed checkpoint.
+
+        What a replacement worker must restore from remote storage
+        after a crash: accumulated state minus bytes still dirty or in
+        upload flight. All zeros while checkpointing is disabled
+        (nothing is durable, so nothing is restorable).
+        """
+        if self._checkpoint is None:
+            return np.zeros(self._worker_count)
+        total = self.worker_state_bytes()
+        return np.maximum(0.0, total - self._ckpt_dirty - self._ckpt_upload)
+
+    def _trigger_checkpoint(self) -> None:
+        ckpt = self._checkpoint
+        self._ckpt_upload += self._ckpt_dirty
+        self._ckpt_dirty[:] = 0.0
+        self.last_checkpoint_s = self._next_checkpoint_s
+        self._next_checkpoint_s += ckpt.interval_s
+        self.checkpoints_taken += 1
+        if self._ckpt_counter is not None:
+            self._ckpt_counter.inc()
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "checkpoint",
+                self.trace_time_offset_s + self.last_checkpoint_s,
+                cat="fault",
+                args={
+                    "index": self.checkpoints_taken,
+                    "upload_bytes": float(np.sum(self._ckpt_upload)),
+                },
+            )
+
+    # ------------------------------------------------------------------
     # Simulation loop
     # ------------------------------------------------------------------
     def _gc_factor(self) -> np.ndarray:
@@ -367,6 +481,19 @@ class FluidSimulation:
         cfg = self.config
         dt = cfg.dt
         n = len(self.cpu)
+
+        # 0. Fault injection and checkpoint triggers. Due chaos events
+        # mutate capacities/aliveness before the tick's demand is
+        # computed; a due checkpoint snapshots dirty state into the
+        # upload backlog that competes for disk bandwidth below.
+        if self.fault_driver is not None:
+            update = self.fault_driver.poll(self.trace_time_offset_s + self.time_s)
+            if update is not None:
+                self.apply_worker_factors(*update)
+        if self._checkpoint is not None and (
+            self.time_s + 1e-9 >= self._next_checkpoint_s
+        ):
+            self._trigger_checkpoint()
 
         # 1. Offered load. A task's offer is capped by its single
         # processing thread working at full speed through the complete
@@ -390,6 +517,11 @@ class FluidSimulation:
                 service_floor > 0, dt / np.maximum(service_floor, 1e-300), np.inf
             )
         want = np.minimum(want, thread_cap)
+        if not np.all(self.worker_alive):
+            # Tasks on dead workers process nothing; their sources still
+            # contribute to the target, so the shortfall surfaces as
+            # backpressure until the controller replans.
+            want = want * self.worker_alive[self.worker]
 
         # 2. Resource contention.
         cpu_demand = want * cpu_eff / dt
@@ -406,7 +538,21 @@ class FluidSimulation:
         cpu_effective = self.cpu_capacity / cpu_penalty
         cpu_scale = proportional_scale(cpu_by_worker, cpu_effective)
         io_demand = want * self.io / dt
-        io_scale = self.disk.scale(io_demand, self.worker, self._worker_count)
+        ckpt_io = None
+        if self._checkpoint is not None and np.any(self._ckpt_upload > 0):
+            ckpt_io = np.minimum(
+                self._ckpt_upload / dt,
+                self._checkpoint.write_bandwidth_share * self.disk.capacity,
+            )
+        io_scale = self.disk.scale(
+            io_demand, self.worker, self._worker_count, extra_demand=ckpt_io
+        )
+        if ckpt_io is not None:
+            # The upload stream is granted the same per-worker fraction
+            # as foreground I/O; drain the backlog by what was written.
+            self._ckpt_upload = np.maximum(
+                0.0, self._ckpt_upload - ckpt_io * io_scale * dt
+            )
 
         out_recs_want = want * self.sel
         if len(self.c_src):
@@ -459,6 +605,12 @@ class FluidSimulation:
         )
         self.queue = np.maximum(self.queue, 0.0)
         self.state_bytes += proc_final * self.state_growth
+        if self._checkpoint is not None:
+            self._ckpt_dirty += np.bincount(
+                self.worker,
+                weights=proc_final * self.state_growth,
+                minlength=self._worker_count,
+            )
 
         # 4. Metrics.
         self._record_metrics(

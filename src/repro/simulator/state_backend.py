@@ -62,19 +62,29 @@ class DiskModel:
         task_demand: np.ndarray,
         task_worker: np.ndarray,
         worker_count: Optional[int] = None,
+        extra_demand: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Per-worker I/O grant fractions for the current tick.
 
         Args:
             task_demand: Per-task disk demand in bytes/s.
             task_worker: Per-task worker index.
+            extra_demand: Optional additional per-*worker* demand in
+                bytes/s sharing the disk this tick — the checkpoint
+                upload stream. It competes for bandwidth like any other
+                demander but does not count as a heavy writer: the
+                upload is a sequential background write, not a
+                compaction-triggering random-write state backend.
 
         Returns:
             Per-worker scale array; index with ``task_worker`` to get
-            per-task grant fractions.
+            per-task grant fractions (the extra demand is granted the
+            same per-worker fraction).
         """
         n = worker_count if worker_count is not None else len(self.capacity)
         demand = np.bincount(task_worker, weights=task_demand, minlength=n)
+        if extra_demand is not None:
+            demand = demand + extra_demand
         heavy = self.heavy_writer_counts(task_demand, task_worker)
         capacity = self.effective_capacity(heavy)
         return proportional_scale(demand, capacity)

@@ -186,3 +186,47 @@ class TestConfigValidation:
         ctl = CAPSysController(tiny_query(), CLUSTER, strategy="bogus", config=FAST)
         with pytest.raises(ValueError):
             ctl.deploy({"src": 100.0})
+
+    def test_timeout_budgets_must_be_positive(self):
+        with pytest.raises(ValueError, match="search_timeout_s must be positive"):
+            ControllerConfig(search_timeout_s=0.0)
+        with pytest.raises(ValueError, match="search_timeout_s must be positive"):
+            ControllerConfig(search_timeout_s=-2.0)
+        with pytest.raises(ValueError, match="autotune_timeout_s must be positive"):
+            ControllerConfig(autotune_timeout_s=0.0)
+
+    def test_cooldown_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(rescale_cooldown_s=-1.0)
+        with pytest.raises(ValueError):
+            ControllerConfig(rescale_backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ControllerConfig(rescale_cooldown_s=100.0, rescale_cooldown_max_s=50.0)
+
+
+class TestDowntimeAccounting:
+    def test_back_to_back_rescales_never_double_count(self):
+        # Two consecutive downtime applications must each advance the
+        # clock by a whole number of simulation steps with strictly
+        # increasing, non-overlapping sample times — the invariant that
+        # keeps crash recovery followed by an immediate DS2 rescale from
+        # double-counting a partial step.
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        result = AdaptiveRunResult()
+        dt = FAST.sim.dt
+        t1 = ctl._apply_downtime(result, 100.0, {"src": 1000.0}, {"src": 1, "work": 2})
+        expected_steps = int(round(FAST.rescale_downtime_s / dt))
+        assert t1 == pytest.approx(100.0 + expected_steps * dt)
+        n_first = len(result.samples)
+        assert n_first == expected_steps
+
+        t2 = ctl._apply_downtime(
+            result, t1, {"src": 1000.0}, {"src": 1, "work": 2}, downtime_s=7.3
+        )
+        assert t2 == pytest.approx(t1 + int(round(7.3 / dt)) * dt)
+        times = [s.time_s for s in result.samples]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(dt) for d in deltas)
+        assert all(s.throughput == 0.0 for s in result.samples)

@@ -1,0 +1,242 @@
+"""Degraded-mode controller behaviour under injected faults.
+
+Covers the controller side of DESIGN.md section 8: forced replans on
+structural faults, the placement fallback chain (search -> greedy
+best-so-far -> evenly), checkpoint-aware recovery downtime, and the
+rescale cooldown with exponential backoff.
+"""
+
+import pytest
+
+from repro.controller.capsys import (
+    CAPSysController,
+    ControllerConfig,
+    next_cooldown,
+)
+from repro.core.cost_model import CostVector
+from repro.dataflow.cluster import Cluster, R5D_XLARGE
+from repro.dataflow.graph import LogicalGraph, OperatorSpec, Partitioning
+from repro.dataflow.physical import PhysicalGraph
+from repro.faults import ChaosSchedule, CheckpointConfig, ClusterHealth, FaultEvent
+from repro.observability import MetricRegistry, Tracer
+from repro.placement.caps import CapsStrategy
+from repro.workloads.rates import ConstantRate
+
+CLUSTER = Cluster.homogeneous(R5D_XLARGE.with_slots(8), count=4)
+FAST = ControllerConfig(
+    policy_interval_s=5.0,
+    activation_time_s=60.0,
+    rescale_downtime_s=5.0,
+    profiling_duration_s=90.0,
+)
+
+
+def tiny_query():
+    g = LogicalGraph("tiny")
+    g.add_operator(OperatorSpec("src", is_source=True, cpu_per_record=1e-6), 1)
+    g.add_operator(
+        OperatorSpec("work", cpu_per_record=1e-3, out_record_bytes=100.0), 1
+    )
+    g.add_edge("src", "work", Partitioning.REBALANCE)
+    return g
+
+
+def counter_value(registry, name, **labels):
+    for m in registry.snapshot()["metrics"]:
+        if m["name"] == name and dict(m["labels"]) == labels:
+            return m["value"]
+    return 0.0
+
+
+class TestForcedReplan:
+    def test_crash_forces_fault_rescale_off_dead_worker(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        chaos = ChaosSchedule.parse("crash:w1@100")
+        result = ctl.run_adaptive(
+            {"src": ConstantRate(2000.0)}, duration_s=200.0, chaos=chaos
+        )
+        fault_events = [
+            e for e in result.events if e.reason.startswith("fault:crash")
+        ]
+        assert len(fault_events) == 1
+        assert fault_events[0].time_s == pytest.approx(100.0, abs=1.0)
+        assert fault_events[0].reason == "fault:crash:w1"
+        # The run survives the crash: samples cover the full duration
+        # and the job comes back to its target after the replan.
+        assert result.samples[-1].time_s >= 195.0
+        tail = [s for s in result.samples if s.time_s > 150.0]
+        assert any(s.throughput >= 0.95 * s.target_rate for s in tail)
+
+    def test_deploy_with_health_avoids_dead_worker(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        health = ClusterHealth(CLUSTER)
+        health.apply(FaultEvent(0.0, "crash", 2))
+        dep = ctl.deploy({"src": 2000.0}, health=health)
+        assert dep.plan.tasks_on(2) == []
+        assert all(w.worker_id != 2 for w in dep.engine.cluster.workers)
+
+    def test_recover_triggers_opportunistic_replan(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        chaos = ChaosSchedule.parse("crash:w1@100,recover:w1@150")
+        result = ctl.run_adaptive(
+            {"src": ConstantRate(2000.0)}, duration_s=250.0, chaos=chaos
+        )
+        reasons = [e.reason for e in result.events]
+        assert "fault:crash:w1" in reasons
+        # The recovery is not plan-invalidating, so it rides the next
+        # un-gated policy tick instead of interrupting the run.
+        recover = [r for r in reasons if r == "fault:recover:w1"]
+        assert len(recover) == 1
+
+
+class TestRecoveryDowntime:
+    def test_checkpointed_crash_costs_more_than_flat_downtime(self):
+        config = ControllerConfig(
+            policy_interval_s=5.0,
+            activation_time_s=60.0,
+            rescale_downtime_s=5.0,
+            profiling_duration_s=90.0,
+            checkpoint=CheckpointConfig(
+                enabled=True,
+                interval_s=30.0,
+                restore_bandwidth_bytes_per_s=1e6,
+            ),
+        )
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=config)
+        dep = ctl.deploy({"src": 2000.0})
+        dep.engine.run_until(100.0)
+        downtime = ctl._recovery_downtime(dep, dep.engine.cluster.workers[0].worker_id)
+        # restart + replay of everything since the t=90 checkpoint
+        assert downtime > config.rescale_downtime_s
+        assert downtime <= config.checkpoint.max_recovery_s
+
+    def test_flat_downtime_when_checkpoints_disabled(self):
+        ctl = CAPSysController(tiny_query(), CLUSTER, config=FAST)
+        dep = ctl.deploy({"src": 2000.0})
+        dep.engine.run_until(100.0)
+        wid = dep.engine.cluster.workers[0].worker_id
+        assert ctl._recovery_downtime(dep, wid) == FAST.rescale_downtime_s
+
+
+class TestCooldownBackoff:
+    CFG = ControllerConfig(
+        policy_interval_s=5.0,
+        activation_time_s=60.0,
+        rescale_cooldown_s=20.0,
+        rescale_backoff_factor=2.0,
+        rescale_cooldown_max_s=50.0,
+    )
+
+    def test_zero_base_disables_cooldown(self):
+        cfg = ControllerConfig(policy_interval_s=5.0)
+        assert next_cooldown(cfg, 0.0, elapsed_since_last_s=1.0) == 0.0
+
+    def test_rapid_rescale_backs_off(self):
+        # Rescaling again well inside the warm window doubles the
+        # cooldown ...
+        assert next_cooldown(self.CFG, 20.0, elapsed_since_last_s=10.0) == 40.0
+        # ... capped at the configured maximum ...
+        assert next_cooldown(self.CFG, 40.0, elapsed_since_last_s=10.0) == 50.0
+        assert next_cooldown(self.CFG, 50.0, elapsed_since_last_s=10.0) == 50.0
+
+    def test_calm_period_resets_to_base(self):
+        # Elapsed beyond warm window (max(activation, cooldown) +
+        # policy interval) resets to the configured base.
+        assert next_cooldown(self.CFG, 50.0, elapsed_since_last_s=120.0) == 20.0
+
+    def test_gated_fault_replan_is_suppressed_and_counted(self):
+        registry = MetricRegistry()
+        config = ControllerConfig(
+            policy_interval_s=5.0,
+            activation_time_s=60.0,
+            rescale_downtime_s=5.0,
+            profiling_duration_s=90.0,
+            rescale_cooldown_s=500.0,
+        )
+        ctl = CAPSysController(
+            tiny_query(), CLUSTER, config=config, registry=registry
+        )
+        # The degradation wants an opportunistic replan, but the huge
+        # cooldown gates every policy tick for the rest of the run.
+        chaos = ChaosSchedule.parse("disk:w1@100x0.5")
+        result = ctl.run_adaptive(
+            {"src": ConstantRate(2000.0)}, duration_s=200.0, chaos=chaos
+        )
+        assert not [e for e in result.events if e.reason.startswith("fault:")]
+        assert counter_value(registry, "controller_rescales_suppressed_total") > 0
+
+
+class TestPlacementFallbackChain:
+    def rates(self):
+        return {("tiny", "src"): 2000.0}
+
+    def physical(self):
+        return PhysicalGraph.expand(
+            tiny_query().with_parallelism({"src": 1, "work": 2})
+        )
+
+    def test_infeasible_thresholds_fall_back_to_greedy(self):
+        registry = MetricRegistry()
+        strategy = CapsStrategy(
+            self.rates(),
+            thresholds=CostVector(cpu=1e-12, io=1e-12, net=1e-12),
+            registry=registry,
+        )
+        plan = strategy.place(self.physical(), CLUSTER)
+        assert plan is not None
+        assert strategy.last_fallback == "greedy"
+        assert (
+            counter_value(
+                registry, "caps_placement_fallback_total", stage="greedy"
+            )
+            == 1.0
+        )
+
+    def test_greedy_failure_falls_back_to_evenly(self, monkeypatch):
+        import repro.placement.caps as caps_mod
+
+        def broken(*args, **kwargs):
+            raise RuntimeError("no feasible greedy placement")
+
+        monkeypatch.setattr(caps_mod, "greedy_balanced_plan", broken)
+        registry = MetricRegistry()
+        strategy = CapsStrategy(
+            self.rates(),
+            thresholds=CostVector(cpu=1e-12, io=1e-12, net=1e-12),
+            registry=registry,
+        )
+        plan = strategy.place(self.physical(), CLUSTER)
+        assert plan is not None
+        assert strategy.last_fallback == "evenly"
+        assert (
+            counter_value(
+                registry, "caps_placement_fallback_total", stage="evenly"
+            )
+            == 1.0
+        )
+
+    def test_controller_records_fallback(self):
+        strategy = CapsStrategy(
+            self.rates(),
+            thresholds=CostVector(cpu=1e-12, io=1e-12, net=1e-12),
+        )
+        ctl = CAPSysController(tiny_query(), CLUSTER, strategy=strategy, config=FAST)
+        ctl.deploy({"src": 2000.0})
+        assert ctl.last_placement_fallback == "greedy"
+
+
+class TestChaosDeterminism:
+    def test_identical_seeded_runs_produce_identical_traces(self):
+        chaos = ChaosSchedule.parse("disk:w1@80x0.5,crash:w2@120")
+
+        def run():
+            tracer = Tracer(run_id="chaos")
+            ctl = CAPSysController(
+                tiny_query(), CLUSTER, config=FAST, tracer=tracer
+            )
+            ctl.run_adaptive(
+                {"src": ConstantRate(2000.0)}, duration_s=200.0, chaos=chaos
+            )
+            return [r for r in tracer.records if r["clock"] == "sim"]
+
+        assert run() == run()

@@ -9,6 +9,8 @@ reference-equivalence suite makes (see ``test_search_incremental.py``)
 because no float round-off separates the live backends.
 """
 
+import os
+
 import pytest
 
 from repro.core.cost_model import CostModel, TaskCosts
@@ -192,3 +194,38 @@ class TestSearchSpec:
         clone = pickle.loads(pickle.dumps(spec))
         result = clone.build().run()
         assert result.stats.nodes > 0
+
+
+def _exit_abruptly(task):
+    # Simulates a hard worker death (OOM kill / segfault): os._exit
+    # skips all cleanup, so the executor sees the process vanish and
+    # raises BrokenProcessPool.
+    os._exit(1)
+
+
+class TestBrokenPoolFallback:
+    def test_broken_pool_degrades_to_sequential(self, monkeypatch):
+        import repro.core.parallel_proc as pp
+        from repro.observability import MetricRegistry
+
+        # fork start method propagates the monkeypatched module global
+        # into the children, so every partition task kills its worker.
+        monkeypatch.setattr(pp, "_run_partition", _exit_abruptly)
+        registry = MetricRegistry()
+        search = CapsSearch(q3_model())
+        driver = ProcessCapsSearch(search, jobs=2, registry=registry)
+        with pytest.warns(RuntimeWarning, match="degrading to the sequential"):
+            broken = driver.run(SearchLimits())
+
+        fallbacks = [
+            m["value"]
+            for m in registry.snapshot()["metrics"]
+            if m["name"] == "search_backend_fallback_total"
+        ]
+        assert fallbacks == [1.0]
+
+        # The degraded result is the same merged result the healthy
+        # pool would have produced.
+        healthy = CapsSearch(q3_model()).run(SearchLimits())
+        assert stats_key(broken.stats) == stats_key(healthy.stats)
+        assert broken.best_cost.as_tuple() == healthy.best_cost.as_tuple()
