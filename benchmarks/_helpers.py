@@ -50,6 +50,29 @@ def write_bench_json(name: str, payload: Mapping, directory: str = ".") -> str:
     return path
 
 
+def merge_bench_json(name: str, section: str, payload: Mapping, directory: str = ".") -> str:
+    """Merge one result section into an existing ``BENCH_<name>.json``.
+
+    Several scripts contribute to the same trajectory file (e.g.
+    ``bench_perf_search.py`` and ``bench_perf_engine.py`` both feed
+    ``BENCH_perf.json``); this writer preserves the other sections
+    instead of clobbering them, refreshing only the shared environment
+    metadata. Starts a fresh document when the file is absent or
+    unreadable. Returns the path written.
+    """
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    results: Dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            previous = json.load(fh)
+        if isinstance(previous.get("results"), dict):
+            results = previous["results"]
+    except (OSError, ValueError):
+        pass
+    results[section] = dict(payload)
+    return write_bench_json(name, results, directory=directory)
+
+
 def run_once(benchmark, fn: Callable):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

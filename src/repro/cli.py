@@ -36,6 +36,7 @@ from repro.experiments.runner import simulate_plan, strategy_box_runs
 from repro.faults import ChaosSchedule, CheckpointConfig
 from repro.observability import MetricRegistry, Tracer
 from repro.placement import CapsStrategy, FlinkDefaultStrategy, FlinkEvenlyStrategy
+from repro.simulator.engine import SimulationConfig
 from repro.simulator.plan_cache import DEFAULT_CACHE
 from repro.workloads import ALL_QUERIES, query_by_name
 from repro.workloads.rates import SquareWaveRate
@@ -64,6 +65,13 @@ def _add_search_args(parser: argparse.ArgumentParser) -> None:
                              "(default: one per core)")
 
 
+def _add_ff_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast-forward", action="store_true",
+        help="leap over converged steady-state ticks (bit-identical "
+             "results, less wall-clock; see DESIGN.md §9)")
+
+
 def _controller_config(args: argparse.Namespace) -> ControllerConfig:
     interval = getattr(args, "checkpoint_interval", None)
     checkpoint = (
@@ -75,6 +83,7 @@ def _controller_config(args: argparse.Namespace) -> ControllerConfig:
         search_backend=args.search_backend,
         search_jobs=args.jobs,
         checkpoint=checkpoint,
+        sim=SimulationConfig(fast_forward=getattr(args, "fast_forward", False)),
     )
 
 
@@ -228,6 +237,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             runs=args.runs, duration_s=args.duration,
             warmup_s=args.duration * 0.4,
             tracer=tracer,
+            fast_forward=args.fast_forward,
         )
         thpt = box_stats([r.only.throughput for r in runs])
         bp = box_stats([r.only.backpressure for r in runs])
@@ -309,7 +319,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(f"simulating the {args.limit} lowest-cost plans")
     outcomes = [
         simulate_plan(graph, cluster, plan, rate, duration_s=240, warmup_s=100,
-                      tracer=tracer)
+                      tracer=tracer, fast_forward=args.fast_forward)
         for _cost, plan in plans
     ]
     thpt = box_stats([s.throughput for s in outcomes])
@@ -341,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     _add_search_args(p)
     _add_obs_args(p)
+    _add_ff_arg(p)
     p.set_defaults(fn=cmd_place)
 
     p = sub.add_parser("compare", help="CAPS vs Flink baselines")
@@ -351,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(p)
     _add_search_args(p)
     _add_obs_args(p)
+    _add_ff_arg(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("autoscale", help="adaptive DS2 + placement loop")
@@ -362,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_search_args(p)
     _add_chaos_args(p)
     _add_obs_args(p)
+    _add_ff_arg(p)
     p.set_defaults(fn=cmd_autoscale)
 
     p = sub.add_parser("explore", help="enumerate the placement space")
@@ -371,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max plans to simulate")
     _add_cluster_args(p, workers=4, slots=4)
     _add_obs_args(p)
+    _add_ff_arg(p)
     p.set_defaults(fn=cmd_explore)
     return parser
 

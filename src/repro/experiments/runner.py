@@ -14,6 +14,7 @@ The cluster builders mirror the paper's setups:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -81,6 +82,20 @@ def source_rate_map(
     return {(graph.job_id, op): rate for op in graph.sources()}
 
 
+def with_fast_forward(
+    config: Optional[SimulationConfig], fast_forward: bool
+) -> Optional[SimulationConfig]:
+    """Overlay the fast-forward opt-in onto an engine config.
+
+    ``False`` leaves the config untouched (including an explicit
+    ``fast_forward=True`` the caller already set); results are identical
+    either way by the engine's equivalence contract.
+    """
+    if not fast_forward:
+        return config
+    return dataclasses.replace(config or SimulationConfig(), fast_forward=True)
+
+
 def simulate_plan(
     graph: LogicalGraph,
     cluster: Cluster,
@@ -92,12 +107,14 @@ def simulate_plan(
     network_cap_bytes_per_s: Optional[float] = None,
     cache: CacheOption = "default",
     tracer: Optional[Tracer] = None,
+    fast_forward: bool = False,
 ) -> JobSummary:
     """Simulate one (single-job) plan and return its summary.
 
     Identical inputs are served from the plan-evaluation cache (the
     simulator is deterministic, so warm results are byte-identical);
-    pass ``cache=None`` to force a fresh simulation.
+    pass ``cache=None`` to force a fresh simulation. ``fast_forward``
+    enables steady-state leaps (same results, less wall-clock).
     """
     physical = PhysicalGraph.expand(graph)
     summary = simulate_cached(
@@ -107,7 +124,7 @@ def simulate_plan(
         source_rate_map(graph, rate),
         duration_s,
         warmup_s,
-        config=config,
+        config=with_fast_forward(config, fast_forward),
         network_cap_bytes_per_s=network_cap_bytes_per_s,
         cache=cache,
         tracer=tracer,
@@ -125,6 +142,7 @@ def simulate_multi_job(
     config: Optional[SimulationConfig] = None,
     cache: CacheOption = "default",
     tracer: Optional[Tracer] = None,
+    fast_forward: bool = False,
 ) -> Dict[str, JobSummary]:
     """Simulate a merged multi-job deployment; summaries per job.
 
@@ -132,7 +150,8 @@ def simulate_multi_job(
     """
     summary = simulate_cached(
         physical, cluster, plan, rates, duration_s, warmup_s,
-        config=config, cache=cache, tracer=tracer,
+        config=with_fast_forward(config, fast_forward),
+        cache=cache, tracer=tracer,
     )
     return summary.jobs
 
@@ -149,6 +168,7 @@ def strategy_box_runs(
     base_seed: int = 0,
     cache: CacheOption = "default",
     tracer: Optional[Tracer] = None,
+    fast_forward: bool = False,
 ) -> List[ExperimentRun]:
     """Repeat place-and-simulate ``runs`` times with varied seeds.
 
@@ -177,6 +197,7 @@ def strategy_box_runs(
             config=config,
             cache=cache,
             tracer=tracer,
+            fast_forward=fast_forward,
         )
         results.append(ExperimentRun(plan=plan, summaries={summary.job_id: summary}))
     return results

@@ -144,3 +144,14 @@ class EngineFaultDriver:
     @property
     def exhausted(self) -> bool:
         return not self._pending
+
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the next pending event, ``None`` when drained.
+
+        The fast-forward engine uses this as one event-horizon source:
+        a leap must stop at (conservatively, just before) the tick that
+        would fire this event.
+        """
+        if not self._pending:
+            return None
+        return self._pending[0].time_s

@@ -139,6 +139,25 @@ class Histogram:
                     self._counts[i] += 1
                     break
 
+    def observe_repeated(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations under one lock hold.
+
+        The sum is accumulated by repeated addition so the result stays
+        bit-identical with ``count`` separate :meth:`observe` calls
+        (``s + v*k`` rounds differently from adding ``v`` k times).
+        """
+        if count <= 0:
+            return
+        value = float(value)
+        with self._lock:
+            for _ in range(count):
+                self._sum += value
+            self._count += count
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += count
+                    break
+
     def snapshot_value(self) -> Dict[str, Any]:
         with self._lock:
             cumulative: List[int] = []

@@ -56,6 +56,9 @@ from repro.workloads.rates import ConstantRate, RatePattern
 
 MIB = 1024.0 ** 2
 _HUGE_RATE = 1e12
+#: Sentinel tick index for "no event on the horizon" (far beyond any
+#: representable run length).
+_MAX_TICK = 2 ** 62
 
 
 @dataclass(frozen=True)
@@ -75,6 +78,15 @@ class SimulationConfig:
             applied to *reported* task rates (never to the dynamics);
             0 disables noise entirely.
         seed: Seed for the measurement-noise generator.
+        fast_forward: Opt into steady-state fast-forward: once two
+            consecutive ticks produce bit-identical state the engine
+            leaps to the next event horizon instead of re-executing
+            converged ticks (see DESIGN.md §9). Results are exactly
+            equal to tick-by-tick execution by contract — the flag is
+            an execution strategy, not a simulation input, and is
+            therefore excluded from the plan-cache fingerprint.
+            Auto-disabled when ``noise_std > 0`` (noise draws from the
+            RNG every tick, so skipping ticks would change the stream).
     """
 
     dt: float = 1.0
@@ -90,6 +102,7 @@ class SimulationConfig:
     metrics_window_ticks: int = 60
     noise_std: float = 0.0
     seed: int = 0
+    fast_forward: bool = False
 
     def __post_init__(self) -> None:
         if self.dt <= 0:
@@ -157,11 +170,31 @@ class FluidSimulation:
         plan.validate(physical, cluster)
 
         self._rng = np.random.default_rng(self.config.seed)
+        #: Simulated local time, always derived from the integer tick
+        #: counter (``time_s == _tick_index * dt``): accumulating
+        #: ``+= dt`` would drift by float error over long runs and
+        #: diverge from the timestamps fast-forward leaps compute.
         self.time_s = 0.0
         self._tick_index = 0
 
         self._patterns = self._normalise_source_rates(source_rates)
         self._build_arrays(network_cap_bytes_per_s)
+
+        # Fast-forward bookkeeping (DESIGN.md §9). Leaping is attempted
+        # only when the config opts in and the dynamics are noise-free.
+        self._ff_enabled = bool(self.config.fast_forward) and self.config.noise_std == 0
+        self._ff_converged = False
+        self._ff_prev_queue: Optional[np.ndarray] = None
+        self._ff_prev_proc: Optional[np.ndarray] = None
+        # Cached piecewise-constant source-target segment: the assembled
+        # per-task target array plus the first tick it no longer covers.
+        self._target_arr: Optional[np.ndarray] = None
+        self._target_until_tick = 0
+        self._registry = registry
+        #: Leap diagnostics (also mirrored as engine_leaps_total /
+        #: engine_ticks_skipped_total registry counters).
+        self.leaps = 0
+        self.ticks_leapt = 0
 
         #: Optional fault driver polled at the start of every tick (set
         #: post-construction via :meth:`set_fault_driver` — fault state
@@ -367,6 +400,10 @@ class FluidSimulation:
         self._job_sources: Dict[str, List[Tuple[str, str]]] = {}
         for key in self._patterns:
             self._job_sources.setdefault(key[0], []).append(key)
+        self._job_source_idx: Dict[str, np.ndarray] = {
+            job: np.concatenate([self._source_indices[k] for k in keys])
+            for job, keys in self._job_sources.items()
+        }
         self._job_task_mask: Dict[str, np.ndarray] = {
             job: self.job_idx == job_pos[job] for job in job_ids
         }
@@ -384,6 +421,7 @@ class FluidSimulation:
         replan around structural faults.
         """
         self.fault_driver = driver
+        self._ff_reset()
 
     def apply_worker_factors(
         self,
@@ -403,6 +441,7 @@ class FluidSimulation:
         self.disk.capacity = degraded_capacity(self._base_disk_capacity, disk_factor)
         self.nic.capacity = degraded_capacity(self._base_net_capacity, net_factor)
         self.worker_alive = np.asarray(alive, dtype=bool).copy()
+        self._ff_reset()
 
     def enable_checkpoints(
         self,
@@ -422,6 +461,7 @@ class FluidSimulation:
         self._ckpt_dirty = np.zeros(self._worker_count)
         self._ckpt_upload = np.zeros(self._worker_count)
         self._next_checkpoint_s = checkpoint.interval_s
+        self._ff_reset()
         if registry is not None:
             self._ckpt_counter = registry.counter(
                 "checkpoints_total", help="Checkpoints triggered."
@@ -465,16 +505,33 @@ class FluidSimulation:
     # ------------------------------------------------------------------
     # Simulation loop
     # ------------------------------------------------------------------
-    def _gc_factor(self) -> np.ndarray:
+    def _gc_factor(self, time_s: float) -> np.ndarray:
         factor = np.ones_like(self.cpu)
         spiky = self.gc_period > 0
         if np.any(spiky):
-            phase_time = (self.time_s + self.gc_phase[spiky]) % self.gc_period[spiky]
+            phase_time = (time_s + self.gc_phase[spiky]) % self.gc_period[spiky]
             active = phase_time < self.gc_duration[spiky]
             bump = np.ones(int(np.sum(spiky)))
             bump[active] += self.gc_magnitude[spiky][active]
             factor[spiky] = bump
         return factor
+
+    def _next_gc_boundary(self, time_s: float) -> Optional[float]:
+        """Earliest GC-spike (de)activation strictly after ``time_s``."""
+        spiky = self.gc_period > 0
+        if not np.any(spiky):
+            return None
+        period = self.gc_period[spiky]
+        duration = self.gc_duration[spiky]
+        residual = np.mod(time_s + self.gc_phase[spiky], period)
+        ahead = np.where(residual < duration, duration - residual, period - residual)
+        # A boundary landing exactly on ``time_s`` belongs to the past;
+        # step over it to the task's following boundary.
+        wrapped = np.where(
+            residual < duration, period - residual, period - residual + duration
+        )
+        ahead = np.where(ahead > 1e-9, ahead, wrapped)
+        return float(time_s + np.min(ahead))
 
     def step(self) -> None:
         """Advance the simulation by one tick."""
@@ -501,11 +558,10 @@ class FluidSimulation:
         # a sequential thread cannot demand more of any resource than it
         # could consume processing alone, so backlog size never inflates
         # contention.
-        target = np.zeros(n)
-        for key, pattern in self._patterns.items():
-            idx = self._source_indices[key]
-            target[idx] = pattern(self.time_s) * self._source_share[idx]
-        cpu_eff = self.cpu * self._gc_factor()
+        if self._target_arr is None or self._tick_index >= self._target_until_tick:
+            self._refresh_target_segment()
+        target = self._target_arr
+        cpu_eff = self.cpu * self._gc_factor(self.time_s)
         service_floor = (
             cpu_eff
             + self.io / self.disk.capacity[self.worker]
@@ -612,12 +668,25 @@ class FluidSimulation:
                 minlength=self._worker_count,
             )
 
-        # 4. Metrics.
+        # 4. Metrics. Samples are stamped at tick end — computed as
+        # integer-tick-count times dt so leap timestamps land on
+        # bit-identical floats.
+        tick_end_s = (self._tick_index + 1) * dt
         self._record_metrics(
-            target, proc_final, out_recs_final, cpu_eff, cpu_scale, io_scale, net_scale, dt
+            target,
+            proc_final,
+            out_recs_final,
+            cpu_eff,
+            cpu_scale,
+            io_scale,
+            net_scale,
+            dt,
+            tick_end_s,
         )
-        self.time_s += dt
         self._tick_index += 1
+        self.time_s = self._tick_index * dt
+        if self._ff_enabled:
+            self._update_convergence()
 
     def _record_metrics(
         self,
@@ -629,6 +698,7 @@ class FluidSimulation:
         io_scale: np.ndarray,
         net_scale: np.ndarray,
         dt: float,
+        tick_end_s: float,
     ) -> None:
         w = self.worker
         disk_cap = self.disk.capacity
@@ -677,8 +747,8 @@ class FluidSimulation:
         self.metrics.record_worker_usage(cpu_util, io_rate, net_rate)
 
         tr = self.tracer
-        for job_id, keys in self._job_sources.items():
-            idx = np.concatenate([self._source_indices[k] for k in keys])
+        for job_id in self._job_sources:
+            idx = self._job_source_idx[job_id]
             job_target = float(np.sum(target[idx]))
             job_throughput = float(np.sum(proc_final[idx])) / dt
             backpressure = (
@@ -694,7 +764,7 @@ class FluidSimulation:
                 job_id,
                 TickSample(
                     # stamp at tick end: the sample describes [t, t+dt)
-                    time_s=self.time_s + dt,
+                    time_s=tick_end_s,
                     target_rate=job_target,
                     throughput=job_throughput,
                     backpressure=backpressure,
@@ -706,7 +776,7 @@ class FluidSimulation:
                 tr.counter(
                     "sim",
                     f"job.{job_id}",
-                    self.trace_time_offset_s + self.time_s + dt,
+                    self.trace_time_offset_s + tick_end_s,
                     {
                         "target_rate": job_target,
                         "throughput": job_throughput,
@@ -718,6 +788,185 @@ class FluidSimulation:
                 )
 
     # ------------------------------------------------------------------
+    # Fast-forward (steady-state event-horizon leaps, DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def _ff_reset(self) -> None:
+        """Drop convergence state after an external mutation.
+
+        Called by every entry point that changes inputs the convergence
+        signature does not cover (capacity factors, checkpoint setup,
+        fault drivers): the fixed point must be re-established by two
+        fresh consecutive ticks before the engine may leap again.
+        """
+        self._ff_converged = False
+        self._ff_prev_queue = None
+        self._ff_prev_proc = None
+
+    def _update_convergence(self) -> None:
+        """Track whether two consecutive ticks produced identical state.
+
+        Convergence is *exact* (bitwise array equality, never a
+        tolerance): one tick is a deterministic function of
+        ``(queue, last-tick processing)`` plus inputs that are constant
+        until the next event horizon, so once two consecutive ticks
+        agree — and no checkpoint upload is draining — every further
+        tick up to the horizon reproduces the same state, metrics, and
+        increments bit-for-bit.
+        """
+        uploading = self._ckpt_upload is not None and bool(np.any(self._ckpt_upload))
+        self._ff_converged = (
+            not uploading
+            and self._ff_prev_queue is not None
+            and np.array_equal(self._ff_prev_queue, self.queue)
+            and np.array_equal(self._ff_prev_proc, self._last_proc)
+        )
+        self._ff_prev_queue = self.queue.copy()
+        self._ff_prev_proc = self._last_proc.copy()
+
+    def _first_tick_at(self, time_s: float) -> int:
+        """Smallest tick index whose start time triggers at ``time_s``.
+
+        Mirrors the engine's 1e-9 trigger tolerance: returns the first
+        tick with ``tick * dt >= time_s - 1e-9``. The float division is
+        only a guess; the adjustment loops pin the exact boundary so a
+        leap can never overshoot a trigger tick.
+        """
+        dt = self.config.dt
+        tick = int(math.ceil((time_s - 1e-9) / dt))
+        while tick * dt < time_s - 1e-9:
+            tick += 1
+        while tick > 0 and (tick - 1) * dt >= time_s - 1e-9:
+            tick -= 1
+        return tick
+
+    def _refresh_target_segment(self) -> None:
+        """Rebuild the vectorized per-task source-target array.
+
+        Every shipped pattern is piecewise-constant between the
+        breakpoints it announces via ``next_change_after``, so the
+        assembled array stays valid until the earliest breakpoint across
+        patterns (converted to a tick index). Patterns answering
+        ``None`` pin the segment to a single tick — the array is then
+        rebuilt every tick, exactly like the old per-tick loop. A probe
+        at the segment's last tick guards against optimistic
+        ``next_change_after`` implementations: if the pattern value
+        differs there, the segment is shrunk to one tick so neither the
+        cache nor a leap can ever cross an unannounced change.
+        """
+        dt = self.config.dt
+        tick = self._tick_index
+        t = self.time_s
+        target = np.zeros(len(self.cpu))
+        until = _MAX_TICK
+        for key, pattern in self._patterns.items():
+            idx = self._source_indices[key]
+            value = pattern(t)
+            target[idx] = value * self._source_share[idx]
+            change = pattern.next_change_after(t)
+            if change is None:
+                pattern_until = tick + 1
+            elif math.isinf(change):
+                pattern_until = _MAX_TICK
+            else:
+                pattern_until = max(self._first_tick_at(change), tick + 1)
+                if pattern_until > tick + 1 and pattern((pattern_until - 1) * dt) != value:
+                    pattern_until = tick + 1
+            until = min(until, pattern_until)
+        self._target_arr = target
+        self._target_until_tick = until
+
+    def _event_horizon_tick(self) -> int:
+        """First future tick whose inputs may differ from the fixed point.
+
+        The earliest of: the next rate-pattern breakpoint (the cached
+        target segment's expiry), the next GC-spike phase transition,
+        the next pending chaos event, and the next checkpoint trigger —
+        each mapped conservatively to the first tick it affects.
+        Under-estimating only costs a few extra executed ticks;
+        over-estimating would break the equivalence contract, so every
+        source rounds toward the present.
+        """
+        horizon = self._target_until_tick
+        # GC flags are constant since the last executed tick's input
+        # time, so boundaries are searched from there.
+        boundary = self._next_gc_boundary((self._tick_index - 1) * self.config.dt)
+        if boundary is not None:
+            horizon = min(horizon, self._first_tick_at(boundary))
+        driver = self.fault_driver
+        if driver is not None:
+            event_time = driver.next_event_time()
+            if event_time is not None:
+                horizon = min(
+                    horizon,
+                    self._first_tick_at(event_time - self.trace_time_offset_s),
+                )
+        if self._checkpoint is not None and math.isfinite(self._next_checkpoint_s):
+            horizon = min(horizon, self._first_tick_at(self._next_checkpoint_s))
+        return horizon
+
+    def _try_leap(self, end_tick: int) -> bool:
+        """Leap to the event horizon (capped at ``end_tick``) if converged."""
+        if not self._ff_converged:
+            return False
+        horizon = min(self._event_horizon_tick(), end_tick)
+        ticks = horizon - self._tick_index
+        if ticks <= 0:
+            return False
+        self._leap(ticks)
+        return True
+
+    def _leap(self, ticks: int) -> None:
+        """Skip ``ticks`` converged ticks, extending state and metrics
+        exactly as tick-by-tick execution would have."""
+        dt = self.config.dt
+        start = self._tick_index
+        # Tick-end timestamps of the skipped ticks, stamped the same way
+        # step() stamps them (integer tick count times dt).
+        times = np.arange(start + 1, start + ticks + 1, dtype=np.float64) * dt
+        self.metrics.replicate_last(ticks, times)
+        # State accumulators advance by the per-tick increment the
+        # skipped ticks would have applied. Repeated addition — not
+        # ``increment * ticks`` — keeps the floats bit-identical with
+        # the tick-by-tick path, and still costs only O(ticks) cheap
+        # vector adds.
+        state_inc = self._last_proc * self.state_growth
+        if np.any(state_inc):
+            for _ in range(ticks):
+                self.state_bytes += state_inc
+        if self._checkpoint is not None:
+            dirty_inc = np.bincount(
+                self.worker, weights=state_inc, minlength=self._worker_count
+            )
+            if np.any(dirty_inc):
+                for _ in range(ticks):
+                    self._ckpt_dirty += dirty_inc
+        self._tick_index = start + ticks
+        self.time_s = self._tick_index * dt
+        self.leaps += 1
+        self.ticks_leapt += ticks
+        if self._registry is not None:
+            self._registry.counter(
+                "engine_leaps_total", help="Fast-forward leaps taken."
+            ).inc()
+            self._registry.counter(
+                "engine_ticks_skipped_total",
+                help="Simulation ticks skipped by fast-forward leaps.",
+            ).inc(ticks)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "engine.leap",
+                self.trace_time_offset_s + start * dt,
+                cat="engine",
+                args={
+                    "ticks": ticks,
+                    "from_s": start * dt,
+                    "to_s": self.time_s,
+                },
+            )
+
+    # ------------------------------------------------------------------
     # Drivers
     # ------------------------------------------------------------------
     def run(self, duration_s: float, warmup_s: float = 0.0) -> SimulationSummary:
@@ -725,14 +974,17 @@ class FluidSimulation:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         ticks = max(1, int(round(duration_s / self.config.dt)))
-        for _ in range(ticks):
-            self.step()
+        self._advance_to_tick(self._tick_index + ticks)
         return self.metrics.summarize(warmup_s=warmup_s)
 
     def run_until(self, time_s: float) -> None:
         """Advance the simulation up to an absolute simulated time."""
-        while self.time_s < time_s - 1e-9:
-            self.step()
+        self._advance_to_tick(self._first_tick_at(time_s))
+
+    def _advance_to_tick(self, end_tick: int) -> None:
+        while self._tick_index < end_tick:
+            if not (self._ff_enabled and self._try_leap(end_tick)):
+                self.step()
 
     def worker_state_bytes(self) -> np.ndarray:
         """Accumulated state-backend bytes per worker (diagnostics)."""

@@ -6,13 +6,20 @@ selectivity statistics, and per-worker CPU utilisation. Here the
 simulator pushes one observation per tick; consumers pull either
 summaries (the experiment harness) or windowed per-task rates (DS2 and
 the profiler) on demand.
+
+Storage is columnar: per-tick observations land in growable numpy
+buffers (amortised O(1) appends, no per-tick dataclass allocation), and
+the rolling task-rate window is a fixed ring buffer. The engine's
+fast-forward mode extends every series analytically via
+:meth:`MetricsCollector.replicate_last` — converged ticks would have
+recorded bit-identical samples, so replication keeps ``summarize()``
+and ``task_rates()`` outputs exactly equal to tick-by-tick execution.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -58,6 +65,98 @@ class TickSample:
     queued_records: float
 
 
+# Column layout of one job-series row (matches TickSample field order).
+_TIME, _TARGET, _THPT, _BP, _LAT, _QUEUED = range(6)
+
+
+class _ColumnStore:
+    """Growable row-major float64 buffer with amortised-O(1) appends."""
+
+    def __init__(self, columns: int, capacity: int = 256) -> None:
+        self._buf = np.zeros((max(capacity, 1), max(columns, 1)))
+        self.rows = 0
+
+    def _reserve(self, extra: int) -> None:
+        need = self.rows + extra
+        if need <= len(self._buf):
+            return
+        capacity = len(self._buf)
+        while capacity < need:
+            capacity *= 2
+        grown = np.zeros((capacity, self._buf.shape[1]))
+        grown[: self.rows] = self._buf[: self.rows]
+        self._buf = grown
+
+    def append(self, values) -> None:
+        self._reserve(1)
+        self._buf[self.rows] = values
+        self.rows += 1
+
+    def replicate_last(self, count: int) -> np.ndarray:
+        """Append ``count`` copies of the last row; returns the new block."""
+        if self.rows == 0:
+            raise RuntimeError("cannot replicate an empty series")
+        self._reserve(count)
+        last = self._buf[self.rows - 1].copy()
+        block = self._buf[self.rows : self.rows + count]
+        block[:] = last
+        self.rows += count
+        return block
+
+    def data(self) -> np.ndarray:
+        """View of the filled rows (no copy)."""
+        return self._buf[: self.rows]
+
+
+class _TaskWindowRing:
+    """Fixed-capacity rolling window of per-task rate observations."""
+
+    # Channel layout: observed, true, out, busy.
+    _CHANNELS = 4
+
+    def __init__(self, window: int, n_tasks: int) -> None:
+        self._data = np.zeros((window, self._CHANNELS, max(n_tasks, 1)))
+        self._window = window
+        self._count = 0
+        self._next = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(
+        self,
+        observed: np.ndarray,
+        true: np.ndarray,
+        out: np.ndarray,
+        busy: np.ndarray,
+    ) -> None:
+        slot = self._data[self._next]
+        slot[0] = observed
+        slot[1] = true
+        slot[2] = out
+        slot[3] = busy
+        self._next = (self._next + 1) % self._window
+        self._count = min(self._count + 1, self._window)
+
+    def replicate_last(self, count: int) -> None:
+        if self._count == 0:
+            raise RuntimeError("cannot replicate an empty window")
+        last = self._data[(self._next - 1) % self._window].copy()
+        for _ in range(min(count, self._window)):
+            self._data[self._next] = last
+            self._next = (self._next + 1) % self._window
+        self._count = min(self._count + count, self._window)
+
+    def rows(self) -> np.ndarray:
+        """Filled rows in chronological order, shape (count, channels, n).
+
+        Reordering before reduction keeps the summation order identical
+        to the pre-ring list-of-dicts implementation.
+        """
+        idx = (self._next - self._count + np.arange(self._count)) % self._window
+        return self._data[idx]
+
+
 class MetricsCollector:
     """Accumulates per-tick job metrics and windowed task rates.
 
@@ -84,17 +183,30 @@ class MetricsCollector:
         self.task_uids = list(task_uids)
         self.window_ticks = window_ticks
         self.registry = registry
-        self._samples: Dict[str, List[TickSample]] = {j: [] for j in self.job_ids}
-        self._worker_cpu: List[np.ndarray] = []
-        self._worker_io: List[np.ndarray] = []
-        self._worker_net: List[np.ndarray] = []
-        self._task_window: Deque[Dict[str, np.ndarray]] = deque(maxlen=window_ticks)
+        self._series: Dict[str, _ColumnStore] = {
+            j: _ColumnStore(columns=6) for j in self.job_ids
+        }
+        # Worker stores are sized lazily: the worker count is only known
+        # at the first record_worker_usage call.
+        self._worker_cpu: Optional[_ColumnStore] = None
+        self._worker_io: Optional[_ColumnStore] = None
+        self._worker_net: Optional[_ColumnStore] = None
+        self._task_window = _TaskWindowRing(window_ticks, len(self.task_uids))
 
     # ------------------------------------------------------------------
     # Recording (called by the engine once per tick)
     # ------------------------------------------------------------------
     def record_job_tick(self, job_id: str, sample: TickSample) -> None:
-        self._samples[job_id].append(sample)
+        self._series[job_id].append(
+            (
+                sample.time_s,
+                sample.target_rate,
+                sample.throughput,
+                sample.backpressure,
+                sample.latency_s,
+                sample.queued_records,
+            )
+        )
         registry = self.registry
         if registry is not None:
             labels = {"job": job_id}
@@ -127,12 +239,7 @@ class MetricsCollector:
         busy_fraction: np.ndarray,
     ) -> None:
         self._task_window.append(
-            {
-                "observed": observed_rate.copy(),
-                "true": true_rate.copy(),
-                "out": observed_output_rate.copy(),
-                "busy": busy_fraction.copy(),
-            }
+            observed_rate, true_rate, observed_output_rate, busy_fraction
         )
 
     def record_worker_usage(
@@ -142,9 +249,52 @@ class MetricsCollector:
         net_bytes_per_s: np.ndarray,
     ) -> None:
         """Per-worker resource usage for one tick (profiling inputs)."""
-        self._worker_cpu.append(cpu_utilisation.copy())
-        self._worker_io.append(io_bytes_per_s.copy())
-        self._worker_net.append(net_bytes_per_s.copy())
+        if self._worker_cpu is None:
+            workers = len(cpu_utilisation)
+            self._worker_cpu = _ColumnStore(columns=workers)
+            self._worker_io = _ColumnStore(columns=workers)
+            self._worker_net = _ColumnStore(columns=workers)
+        self._worker_cpu.append(cpu_utilisation)
+        self._worker_io.append(io_bytes_per_s)
+        self._worker_net.append(net_bytes_per_s)
+
+    def replicate_last(self, count: int, times: np.ndarray) -> None:
+        """Extend every series by ``count`` copies of its last sample.
+
+        Called by the engine's fast-forward leap once the dynamics have
+        reached a fixed point: each skipped tick would have recorded
+        exactly the previous tick's sample again, only with an advanced
+        timestamp. ``times`` carries the tick-end timestamps of the
+        skipped ticks (computed the same way ``step()`` stamps them, so
+        warmup slicing stays bit-identical). Registry mirrors advance
+        the same way the per-tick path would: the tick counter by
+        ``count``, the latency histogram by ``count`` repeats of the
+        converged value; gauges already hold the (unchanged) latest
+        values.
+        """
+        if count <= 0:
+            return
+        registry = self.registry
+        for job_id in self.job_ids:
+            block = self._series[job_id].replicate_last(count)
+            block[:, _TIME] = times
+            if registry is not None:
+                labels = {"job": job_id}
+                registry.counter(
+                    "sim_job_ticks_total",
+                    labels=labels,
+                    help="Simulation ticks recorded per job.",
+                ).inc(count)
+                registry.histogram(
+                    "sim_job_latency_seconds",
+                    labels=labels,
+                    help="Per-tick Little's-law latency estimates.",
+                ).observe_repeated(float(block[0, _LAT]), count)
+        self._task_window.replicate_last(count)
+        if self._worker_cpu is not None:
+            self._worker_cpu.replicate_last(count)
+            self._worker_io.replicate_last(count)
+            self._worker_net.replicate_last(count)
 
     # ------------------------------------------------------------------
     # Task-rate queries (DS2 / profiler)
@@ -153,10 +303,11 @@ class MetricsCollector:
         """Windowed average rates per task uid."""
         if not self._task_window:
             raise RuntimeError("no task samples recorded yet")
-        observed = np.mean([s["observed"] for s in self._task_window], axis=0)
-        true = np.mean([s["true"] for s in self._task_window], axis=0)
-        out = np.mean([s["out"] for s in self._task_window], axis=0)
-        busy = np.mean([s["busy"] for s in self._task_window], axis=0)
+        window = self._task_window.rows()
+        observed = np.mean(window[:, 0, :], axis=0)
+        true = np.mean(window[:, 1, :], axis=0)
+        out = np.mean(window[:, 2, :], axis=0)
+        busy = np.mean(window[:, 3, :], axis=0)
         return {
             uid: TaskRates(
                 observed_rate=float(observed[i]),
@@ -168,12 +319,12 @@ class MetricsCollector:
         }
 
     def _worker_mean(
-        self, series: List[np.ndarray], warmup_s: float, dt: float
+        self, store: Optional[_ColumnStore], warmup_s: float, dt: float
     ) -> np.ndarray:
-        if not series:
+        if store is None or store.rows == 0:
             raise RuntimeError("no worker samples recorded yet")
-        start = min(int(warmup_s / dt), len(series) - 1)
-        return np.mean(series[start:], axis=0)
+        start = min(int(warmup_s / dt), store.rows - 1)
+        return np.mean(store.data()[start:], axis=0)
 
     def worker_cpu_utilisation(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
         """Mean post-warmup CPU utilisation per worker."""
@@ -192,27 +343,41 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def job_series(self, job_id: str) -> List[TickSample]:
         try:
-            return list(self._samples[job_id])
+            store = self._series[job_id]
         except KeyError:
             raise KeyError(f"unknown job {job_id!r}") from None
+        return [
+            TickSample(
+                time_s=float(row[_TIME]),
+                target_rate=float(row[_TARGET]),
+                throughput=float(row[_THPT]),
+                backpressure=float(row[_BP]),
+                latency_s=float(row[_LAT]),
+                queued_records=float(row[_QUEUED]),
+            )
+            for row in store.data()
+        ]
 
     def summarize(self, warmup_s: float = 0.0) -> SimulationSummary:
         """Average the post-warmup portion of every job's series."""
         jobs: Dict[str, JobSummary] = {}
         duration = 0.0
-        for job_id, samples in self._samples.items():
-            if not samples:
+        for job_id in self.job_ids:
+            store = self._series[job_id]
+            if store.rows == 0:
                 raise RuntimeError(f"no samples recorded for job {job_id!r}")
-            duration = max(duration, samples[-1].time_s)
-            window = [s for s in samples if s.time_s >= warmup_s]
-            if not window:
-                window = samples[-1:]
+            data = store.data()
+            times = data[:, _TIME]
+            duration = max(duration, float(times[-1]))
+            window = data[times >= warmup_s]
+            if not len(window):
+                window = data[-1:]
             jobs[job_id] = JobSummary(
                 job_id=job_id,
-                target_rate=float(np.mean([s.target_rate for s in window])),
-                throughput=float(np.mean([s.throughput for s in window])),
-                backpressure=float(np.mean([s.backpressure for s in window])),
-                latency_s=float(np.mean([s.latency_s for s in window])),
+                target_rate=float(np.mean(window[:, _TARGET])),
+                throughput=float(np.mean(window[:, _THPT])),
+                backpressure=float(np.mean(window[:, _BP])),
+                latency_s=float(np.mean(window[:, _LAT])),
                 duration_s=duration - warmup_s if duration > warmup_s else duration,
             )
         return SimulationSummary(jobs=jobs, duration_s=duration, warmup_s=warmup_s)

@@ -137,13 +137,20 @@ def simulation_fingerprint(
     network_cap_bytes_per_s: Optional[float] = None,
 ) -> Optional[str]:
     """Content hash of one simulation input, or None when uncacheable."""
+    # fast_forward is an execution strategy with an exact-equivalence
+    # contract (the engine produces bit-identical results either way),
+    # not a simulation input: normalise it out so fast-forward and
+    # reference runs share cache entries.
+    effective = dataclasses.replace(
+        config if config is not None else SimulationConfig(), fast_forward=False
+    )
     try:
         payload = (
             _canon_physical(physical),
             _canon_placement(cluster, plan),
             ("rates", _canon(rates)),
             ("window", _canon(float(duration_s)), _canon(float(warmup_s))),
-            ("config", _canon(config if config is not None else SimulationConfig())),
+            ("config", _canon(effective)),
             ("net_cap", _canon(network_cap_bytes_per_s)),
         )
     except _Uncacheable:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 
 class RatePattern:
@@ -27,6 +27,20 @@ class RatePattern:
         if rate < 0:
             raise ValueError(f"rate pattern produced negative rate {rate}")
         return rate
+
+    def next_change_after(self, time_s: float) -> Optional[float]:
+        """Earliest time strictly after ``time_s`` at which the rate may change.
+
+        The fast-forward engine uses this to bound event-horizon leaps:
+        the rate is promised constant on ``(time_s, next_change_after)``.
+        Return ``math.inf`` when the rate never changes again, or
+        ``None`` (the conservative base default) when breakpoints cannot
+        be enumerated — callers must then re-evaluate every tick.
+        Returning a too-*early* time only costs performance; returning a
+        too-late time would let the engine leap over a rate change, so
+        when in doubt return ``None``.
+        """
+        return None
 
     def max_rate(self, horizon_s: float, step_s: float = 1.0) -> float:
         """Maximum rate over a horizon (used for capacity provisioning)."""
@@ -46,6 +60,9 @@ class ConstantRate(RatePattern):
 
     def rate_at(self, time_s: float) -> float:
         return self.rate
+
+    def next_change_after(self, time_s: float) -> float:
+        return math.inf
 
 
 @dataclass(frozen=True)
@@ -102,6 +119,12 @@ class StepSchedule(RatePattern):
         """Times at which the target rate changes (excluding t=0)."""
         return [t for t, _ in self.steps[1:]]
 
+    def next_change_after(self, time_s: float) -> float:
+        for start, _ in self.steps[1:]:
+            if start > time_s:
+                return start
+        return math.inf
+
 
 @dataclass(frozen=True)
 class SquareWaveRate(RatePattern):
@@ -128,6 +151,14 @@ class SquareWaveRate(RatePattern):
         first, second = (self.high, self.low) if self.start_high else (self.low, self.high)
         return first if phase == 0 else second
 
+    def next_change_after(self, time_s: float) -> float:
+        if self.high == self.low:
+            return math.inf
+        boundary = (math.floor(time_s / self.period_s) + 1) * self.period_s
+        if boundary <= time_s:
+            boundary += self.period_s
+        return boundary
+
 
 @dataclass(frozen=True)
 class SineRate(RatePattern):
@@ -146,6 +177,12 @@ class SineRate(RatePattern):
     def rate_at(self, time_s: float) -> float:
         return self.mean + self.amplitude * math.sin(2 * math.pi * time_s / self.period_s)
 
+    def next_change_after(self, time_s: float) -> Optional[float]:
+        # Continuously varying: no enumerable breakpoints (unless flat).
+        if self.amplitude == 0:
+            return math.inf
+        return None
+
 
 @dataclass(frozen=True)
 class TimeShiftedRate(RatePattern):
@@ -162,6 +199,12 @@ class TimeShiftedRate(RatePattern):
 
     def rate_at(self, time_s: float) -> float:
         return self.pattern(time_s + self.offset_s)
+
+    def next_change_after(self, time_s: float) -> Optional[float]:
+        inner = self.pattern.next_change_after(time_s + self.offset_s)
+        if inner is None or math.isinf(inner):
+            return inner
+        return inner - self.offset_s
 
 
 @dataclass(frozen=True)
@@ -188,3 +231,9 @@ class RampRate(RatePattern):
             return self.end
         frac = time_s / self.duration_s
         return self.start + (self.end - self.start) * frac
+
+    def next_change_after(self, time_s: float) -> Optional[float]:
+        if self.start == self.end or time_s >= self.duration_s:
+            return math.inf
+        # Mid-ramp the rate changes continuously; no leapable segment.
+        return None

@@ -322,8 +322,16 @@ class TestFingerprintFieldCoverage:
             f"WorkerSpec.{field_name} is not in the key"
         )
 
+    # fast_forward is deliberately NOT part of the key: it is an
+    # execution strategy with an exact-equivalence contract, so
+    # fast-forward and reference runs must share cache entries.
     @pytest.mark.parametrize(
-        "field_name", [f.name for f in dataclasses.fields(SimulationConfig)]
+        "field_name",
+        [
+            f.name
+            for f in dataclasses.fields(SimulationConfig)
+            if f.name != "fast_forward"
+        ],
     )
     def test_every_simulation_config_field_moves_the_key(self, field_name):
         physical, cluster = small_deployment()
@@ -336,6 +344,15 @@ class TestFingerprintFieldCoverage:
         assert base != fingerprint(physical, cluster, plan, config=altered), (
             f"SimulationConfig.{field_name} is not in the key"
         )
+
+    def test_fast_forward_does_not_move_the_key(self):
+        physical, cluster = small_deployment()
+        plan = plan_on_worker(physical, 0)
+        base = fingerprint(physical, cluster, plan)
+        fast = fingerprint(
+            physical, cluster, plan, config=SimulationConfig(fast_forward=True)
+        )
+        assert base == fast
 
 
 class TestCacheThreadSafety:
