@@ -15,7 +15,7 @@ AST analysis, run as::
     PYTHONPATH=src python -m repro.analysis            # human-readable
     PYTHONPATH=src python -m repro.analysis --format json
 
-Four rule families (see the rule modules for the full catalogue):
+Six rule families (see the rule modules for the full catalogue):
 
 - ``DET`` (:mod:`repro.analysis.rules_det`) — determinism lint over
   code import-reachable from ``repro.simulator``/``repro.core``.
@@ -26,6 +26,15 @@ Four rule families (see the rule modules for the full catalogue):
   of the plan-evaluation fingerprint.
 - ``API`` (:mod:`repro.analysis.rules_api`) — hygiene (mutable default
   arguments, swallowed exceptions).
+- ``UNIT`` (:mod:`repro.analysis.rules_unit`) — interprocedural
+  physical-dimension checking (seconds vs ticks vs bytes vs rates)
+  over the numeric packages, built on the abstract-interpretation
+  core in :mod:`repro.analysis.absint`.
+- ``FF`` (:mod:`repro.analysis.rules_ff`) — static verification of
+  the fast-forward leap-safety contract (DESIGN.md section 9): every
+  state mutation in the tick-loop call closure must be covered by the
+  analytic extension set, and rate-pattern breakpoint schedules must
+  agree with their rate curves.
 
 Deliberate exceptions are recorded inline::
 
@@ -50,11 +59,18 @@ from repro.analysis.rules_det import (
     SANCTIONED_CLOCK_MODULES,
     check_det,
 )
+from repro.analysis.rules_ff import (
+    DEFAULT_FF_COVERAGE,
+    DEFAULT_FF_ENTRIES,
+    check_ff,
+    classify_functions,
+)
 from repro.analysis.rules_key import DEFAULT_KEY_SPEC, KeySpec, check_key
 from repro.analysis.rules_race import DEFAULT_RACE_ENTRIES, check_race
+from repro.analysis.rules_unit import DEFAULT_UNIT_ROOTS, check_unit
 
-#: The four rule families, in reporting order.
-FAMILIES = ("DET", "RACE", "KEY", "API")
+#: The six rule families, in reporting order.
+FAMILIES = ("DET", "RACE", "KEY", "API", "UNIT", "FF")
 
 
 def default_root() -> Path:
@@ -66,6 +82,7 @@ def analyze_sources(
     sources: Sequence[SourceFile],
     families: Optional[Iterable[str]] = None,
     det_roots: Optional[Iterable[str]] = DEFAULT_DET_ROOTS,
+    unit_roots: Optional[Iterable[str]] = DEFAULT_UNIT_ROOTS,
 ) -> Report:
     """Run the selected rule families over already-loaded sources."""
     selected = set(families) if families is not None else set(FAMILIES)
@@ -83,6 +100,10 @@ def analyze_sources(
         findings.extend(check_key(sources))
     if "API" in selected:
         findings.extend(check_api(sources))
+    if "UNIT" in selected:
+        findings.extend(check_unit(sources, roots=unit_roots))
+    if "FF" in selected:
+        findings.extend(check_ff(sources))
     return finalize(findings, sources, families=sorted(selected))
 
 
@@ -109,14 +130,20 @@ __all__ = [
     "analyze_sources",
     "check_api",
     "check_det",
+    "check_ff",
     "check_key",
     "check_race",
+    "check_unit",
+    "classify_functions",
     "default_root",
     "load_package",
     "load_source",
     "run_analysis",
     "DEFAULT_DET_ROOTS",
+    "DEFAULT_FF_COVERAGE",
+    "DEFAULT_FF_ENTRIES",
     "DEFAULT_KEY_SPEC",
     "DEFAULT_RACE_ENTRIES",
+    "DEFAULT_UNIT_ROOTS",
     "SANCTIONED_CLOCK_MODULES",
 ]

@@ -1,17 +1,21 @@
 """CLI driver: ``python -m repro.analysis``.
 
 Exit status is the CI contract: 0 when every finding is suppressed with
-a reason, 1 when unsuppressed findings remain, 2 on usage errors.
+a reason (and the waiver ledger balances, when ``--waivers`` is given),
+1 when unsuppressed findings remain or the ledger does not balance,
+2 on usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import FAMILIES, default_root, run_analysis
+from repro.analysis.waivers import check_waiver_budget, parse_waivers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -20,7 +24,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Determinism & concurrency-safety static analysis over the "
             "repro package (rule families: DET determinism, RACE "
-            "shared-state, KEY cache-key completeness, API hygiene)."
+            "shared-state, KEY cache-key completeness, API hygiene, "
+            "UNIT physical dimensions, FF fast-forward leap safety)."
         ),
     )
     parser.add_argument(
@@ -31,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -51,11 +56,67 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help=(
+            "only report findings under these path prefixes (relative "
+            "to the scan root's parent, e.g. repro/simulator or "
+            "src/repro/simulator/engine.py); analysis still runs over "
+            "the whole tree so interprocedural context stays complete"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help=(
+            "only report findings in files changed relative to git HEAD "
+            "(staged, unstaged, and untracked); fast pre-commit mode"
+        ),
+    )
+    parser.add_argument(
+        "--waivers",
+        type=Path,
+        default=None,
+        metavar="WAIVERS_MD",
+        help=(
+            "enforce the waiver ledger: fail unless per-rule inline "
+            "suppression counts exactly match the budgets recorded in "
+            "this WAIVERS.md"
+        ),
+    )
+    parser.add_argument(
         "--show-suppressed",
         action="store_true",
         help="include suppressed findings in text output",
     )
     return parser
+
+
+def _changed_paths(repo_hint: Path) -> List[str]:
+    """Files changed vs HEAD (staged+unstaged) plus untracked files."""
+    changed: List[str] = []
+    for cmd in (
+        ["git", "-C", str(repo_hint), "diff", "--name-only", "HEAD"],
+        [
+            "git",
+            "-C",
+            str(repo_hint),
+            "ls-files",
+            "--others",
+            "--exclude-standard",
+        ],
+    ):
+        result = subprocess.run(
+            cmd, capture_output=True, text=True, check=True
+        )
+        changed.extend(
+            line.strip()
+            for line in result.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -68,21 +129,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    rendered = (
-        report.to_json()
-        if args.format == "json"
-        else report.to_text(show_suppressed=args.show_suppressed)
-    )
+
+    root = args.root if args.root is not None else default_root()
+    path_filter: Optional[List[str]] = list(args.paths) if args.paths else None
+    if args.changed_only:
+        try:
+            changed = _changed_paths(Path(root))
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"error: --changed-only needs git: {exc}", file=sys.stderr)
+            return 2
+        path_filter = (path_filter or []) + changed
+    if path_filter is not None:
+        report = report.filtered(path_filter)
+
+    budget_errors: List[str] = []
+    if args.waivers is not None:
+        try:
+            budgets = parse_waivers(args.waivers.read_text(encoding="utf-8"))
+        except OSError as exc:
+            print(f"error: cannot read waiver ledger: {exc}", file=sys.stderr)
+            return 2
+        budget_errors = check_waiver_budget(report, budgets)
+
+    if args.format == "json":
+        rendered = report.to_json()
+    elif args.format == "sarif":
+        rendered = report.to_sarif()
+    else:
+        rendered = report.to_text(show_suppressed=args.show_suppressed)
     print(rendered)
     if args.output is not None:
         args.output.write_text(rendered + "\n", encoding="utf-8")
-    root = args.root if args.root is not None else default_root()
+    for error in budget_errors:
+        print(f"waiver budget: {error}", file=sys.stderr)
     if report.exit_code:
         print(
             f"\nanalysis failed: {len(report.active)} unsuppressed "
             f"finding(s) under {root}",
             file=sys.stderr,
         )
+    if budget_errors:
+        return 1
     return report.exit_code
 
 

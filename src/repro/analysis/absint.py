@@ -1,0 +1,992 @@
+"""Interprocedural abstract interpretation over physical dimensions.
+
+This is the shared analysis core behind the UNIT rule family (and the
+classification helpers used by FF).  It assigns every expression an
+abstract value from a *dimension lattice*:
+
+- ``None`` — unknown/polymorphic (``TOP``).  Numeric literals are
+  unknown on purpose: ``time_s + 1e-9`` must not warn.
+- :class:`Unit` — a concrete dimension, represented as a product of
+  base dimensions with integer exponents (``s``, ``tick``, ``byte``,
+  ``record``, ``ms``, …).  ``Unit(())`` is the explicit dimensionless
+  value (fractions, ratios).
+
+Units enter the analysis from four sources, in decreasing precedence:
+
+1. ``typing.Annotated[float, "unit:byte/s"]`` annotations, including
+   the named aliases in :mod:`repro.units`;
+2. ``:unit name: expr`` lines in function/class docstrings;
+3. the identifier suffix registry (``_s``, ``_ticks``, ``_hz``,
+   ``_bytes``, ``_bps``, ``_frac``, …);
+4. a small exact-name table (``dt`` is seconds-per-tick everywhere in
+   this codebase; ``tick`` and friends are tick counts).
+
+Transfer functions propagate units through arithmetic (``*``/``/``
+combine exponents; ``+``/``-``/``%``/comparisons require agreement),
+through a table of unit-transparent builtins (``float``, ``abs``,
+``np.sum`` …), and — interprocedurally — through function summaries
+computed as a fixpoint over :class:`repro.analysis.callgraph.CallGraph`.
+Call-site resolution follows the call graph's by-simple-name scheme but
+flips the conservatism: where RACE treats every same-named function as
+reachable (over-approximating *reachability*), UNIT uses a same-named
+summary only when every candidate agrees (under-approximating
+*knowledge*).  Both biases are deliberate: reachability errs toward
+more findings, unit inference errs toward fewer false positives.
+
+The interpreter is flow-ordered but loop-insensitive: statements are
+walked once per pass in source order, and the engine runs a small fixed
+number of passes so return-unit summaries reach their callers.
+Disagreeing rebindings decay to unknown instead of warning — only
+names that *declare* a unit (suffix, annotation, docstring) are held to
+it (UNIT004).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.ast_utils import (
+    SourceFile,
+    import_aliases,
+    resolve_name,
+)
+from repro.analysis.callgraph import CallGraph, FunctionInfo
+
+
+# ----------------------------------------------------------------------
+# The dimension lattice
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Unit:
+    """A concrete dimension: a sorted product of (base, exponent) pairs.
+
+    ``Unit(())`` is dimensionless ("1").  Unknown is represented as
+    ``None`` at the lattice level, not as a Unit instance.
+    """
+
+    dims: Tuple[Tuple[str, int], ...]
+
+    def __str__(self) -> str:
+        if not self.dims:
+            return "1"
+        num = [d if e == 1 else f"{d}^{e}" for d, e in self.dims if e > 0]
+        den = [d if e == -1 else f"{d}^{-e}" for d, e in self.dims if e < 0]
+        head = "*".join(num) if num else "1"
+        for part in den:
+            head += f"/{part}"
+        return head
+
+
+ONE = Unit(())
+
+
+def _make_unit(dims: Mapping[str, int]) -> Unit:
+    return Unit(tuple(sorted((d, e) for d, e in dims.items() if e != 0)))
+
+
+def unit_mul(left: Unit, right: Unit) -> Unit:
+    dims = dict(left.dims)
+    for d, e in right.dims:
+        dims[d] = dims.get(d, 0) + e
+    return _make_unit(dims)
+
+
+def unit_div(left: Unit, right: Unit) -> Unit:
+    dims = dict(left.dims)
+    for d, e in right.dims:
+        dims[d] = dims.get(d, 0) - e
+    return _make_unit(dims)
+
+
+def unit_pow(base: Unit, exponent: int) -> Unit:
+    return _make_unit({d: e * exponent for d, e in base.dims})
+
+
+_UNIT_TERM_RE = re.compile(r"(?:([A-Za-z]\w*)|1)(?:\^(-?\d+))?")
+
+
+def parse_unit(spec: str) -> Optional[Unit]:
+    """Parse ``"s"``, ``"byte/s"``, ``"1"``, ``"s^2/tick"`` …, else None.
+
+    Each ``/`` divides by the following term only (``a/b/c`` is
+    ``a·b⁻¹·c⁻¹``); ``1`` is the dimensionless placeholder.
+    """
+    text = spec.strip().replace(" ", "")
+    if not text:
+        return None
+    dims: Dict[str, int] = {}
+    sign = 1
+    pos = 0
+    expect_term = True
+    while pos < len(text):
+        if expect_term:
+            match = _UNIT_TERM_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                return None
+            name, exp = match.group(1), match.group(2)
+            power = int(exp) if exp else 1
+            if name is not None:
+                dims[name] = dims.get(name, 0) + sign * power
+            pos = match.end()
+            expect_term = False
+        else:
+            op = text[pos]
+            if op == "/":
+                sign = -1
+            elif op == "*":
+                sign = 1
+            else:
+                return None
+            pos += 1
+            expect_term = True
+    if expect_term:
+        return None
+    return _make_unit(dims)
+
+
+# ----------------------------------------------------------------------
+# Unit declarations: suffixes, exact names, annotations, docstrings
+# ----------------------------------------------------------------------
+#: Identifier-suffix convention registry, most specific first.  A
+#: ``None`` spec means "the convention matches but deliberately declares
+#: nothing" — ``*_per_s`` has an unknowable numerator and must not be
+#: mistaken for plain seconds by the ``_s`` entry below it.
+SUFFIX_UNITS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("_bytes_per_s", "byte/s"),
+    ("_records_per_s", "record/s"),
+    ("_per_s", None),
+    ("_per_record", None),
+    ("_per_tick", None),
+    ("_bps", "byte/s"),
+    ("_hz", "1/s"),
+    ("_seconds", "s"),
+    ("_ms", "ms"),
+    ("_s", "s"),
+    ("_ticks", "tick"),
+    ("_tick", "tick"),
+    ("_bytes", "byte"),
+    ("_records", "record"),
+    ("_frac", "1"),
+    ("_fraction", "1"),
+)
+
+#: Exact identifier names with codebase-wide meaning.  ``dt`` is the
+#: tick length in seconds (seconds *per tick*), which is what makes the
+#: engine's ``time_s == tick * dt`` identity dimensionally sound.
+NAME_UNITS: Mapping[str, str] = {
+    "dt": "s/tick",
+    "tick": "tick",
+    "ticks": "tick",
+    "tick_index": "tick",
+    "_tick_index": "tick",
+}
+
+#: Named aliases exported by :mod:`repro.units`.
+ALIAS_UNITS: Mapping[str, str] = {
+    "repro.units.Seconds": "s",
+    "repro.units.Milliseconds": "ms",
+    "repro.units.Ticks": "tick",
+    "repro.units.SecondsPerTick": "s/tick",
+    "repro.units.Hertz": "1/s",
+    "repro.units.Bytes": "byte",
+    "repro.units.Records": "record",
+    "repro.units.BytesPerSecond": "byte/s",
+    "repro.units.RecordsPerSecond": "record/s",
+    "repro.units.Fraction": "1",
+}
+
+
+def suffix_unit(name: str) -> Optional[Unit]:
+    """Unit an identifier declares through its name, if any."""
+    lowered = name.lower()
+    exact = NAME_UNITS.get(lowered)
+    if exact is not None:
+        return parse_unit(exact)
+    for suffix, spec in SUFFIX_UNITS:
+        whole = suffix[1:]
+        if lowered.endswith(suffix) or (len(whole) >= 2 and lowered == whole):
+            return parse_unit(spec) if spec is not None else None
+    return None
+
+
+_DOC_UNIT_RE = re.compile(
+    r"^\s*:unit\s+([A-Za-z_]\w*)\s*:\s*(\S+)", re.MULTILINE
+)
+
+
+def docstring_units(node: ast.AST) -> Dict[str, Unit]:
+    """``:unit name: expr`` declarations in a def/class docstring."""
+    units: Dict[str, Unit] = {}
+    try:
+        doc = ast.get_docstring(node, clean=False)
+    except TypeError:
+        return units
+    if not doc:
+        return units
+    for match in _DOC_UNIT_RE.finditer(doc):
+        parsed = parse_unit(match.group(2))
+        if parsed is not None:
+            units[match.group(1)] = parsed
+    return units
+
+
+def annotation_unit(
+    node: Optional[ast.AST], aliases: Mapping[str, str]
+) -> Optional[Unit]:
+    """Unit carried by a type annotation, if any.
+
+    Recognises ``Annotated[..., "unit:expr"]`` (any spelling of
+    Annotated), the :data:`ALIAS_UNITS` names from :mod:`repro.units`
+    (resolved through import aliases), string annotations naming an
+    alias, and ``Optional``/container wrappers around any of those.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if text.startswith("unit:"):
+            return parse_unit(text[len("unit:"):])
+        resolved = aliases.get(text, text)
+        spec = ALIAS_UNITS.get(resolved) or ALIAS_UNITS.get(
+            f"repro.units.{text}"
+        )
+        return parse_unit(spec) if spec is not None else None
+    resolved_name = resolve_name(node, aliases)
+    if resolved_name is not None:
+        spec = ALIAS_UNITS.get(resolved_name)
+        if spec is not None:
+            return parse_unit(spec)
+    if isinstance(node, ast.Subscript):
+        head = resolve_name(node.value, aliases) or ""
+        if head == "typing.Annotated" or head.endswith(".Annotated") or head == "Annotated":
+            for sub in ast.walk(node.slice):
+                if (
+                    isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, str)
+                    and sub.value.startswith("unit:")
+                ):
+                    return parse_unit(sub.value[len("unit:"):])
+            return None
+        inner = node.slice
+        if isinstance(inner, ast.Tuple):
+            for element in inner.elts:
+                found = annotation_unit(element, aliases)
+                if found is not None:
+                    return found
+            return None
+        return annotation_unit(inner, aliases)
+    return None
+
+
+def class_attr_units(
+    cls: ast.ClassDef, aliases: Mapping[str, str]
+) -> Dict[str, Unit]:
+    """Attribute units a class declares via fields or its docstring."""
+    units = docstring_units(cls)
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            declared = annotation_unit(stmt.annotation, aliases)
+            if declared is None:
+                declared = suffix_unit(stmt.target.id)
+            if declared is not None:
+                units[stmt.target.id] = declared
+    return units
+
+
+# ----------------------------------------------------------------------
+# Transfer-function tables for well-known calls
+# ----------------------------------------------------------------------
+#: Calls that return their first argument's unit unchanged.
+TRANSPARENT_CALLS: Set[str] = {
+    "float",
+    "int",
+    "abs",
+    "round",
+    "sum",
+    "sorted",
+    "math.floor",
+    "math.ceil",
+    "math.fabs",
+    "math.trunc",
+    "math.fsum",
+    "numpy.abs",
+    "numpy.asarray",
+    "numpy.ascontiguousarray",
+    "numpy.copy",
+    "numpy.sum",
+    "numpy.mean",
+    "numpy.median",
+    "numpy.cumsum",
+    "numpy.sort",
+    "numpy.float64",
+    "numpy.round",
+}
+
+#: Method names that return their receiver's unit unchanged.
+TRANSPARENT_METHODS: Set[str] = {
+    "copy",
+    "astype",
+    "tolist",
+    "item",
+    "sum",
+    "mean",
+    "cumsum",
+}
+
+#: Calls whose numeric arguments must share one dimension (result: the
+#: first known argument's unit).  ``numpy.where`` is listed with its
+#: boolean mask excluded below.
+COMPARABLE_CALLS: Set[str] = {
+    "min",
+    "max",
+    "math.fmod",
+    "numpy.minimum",
+    "numpy.maximum",
+    "numpy.fmin",
+    "numpy.fmax",
+    "numpy.mod",
+    "numpy.clip",
+    "numpy.where",
+}
+
+
+# ----------------------------------------------------------------------
+# Violations and summaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnitViolation:
+    """One dimension-mixing event produced by the interpreter."""
+
+    kind: str  # "arith" | "compare" | "arg" | "bind" | "return"
+    source: SourceFile
+    line: int
+    left: Unit
+    right: Unit
+    detail: str
+    function: str
+
+
+@dataclass
+class FunctionSummary:
+    """Declared/inferred units for one function in the fixpoint."""
+
+    info: FunctionInfo
+    params: Dict[str, Optional[Unit]]
+    positional: List[str]
+    ret: Optional[Unit]
+    declared_ret: bool
+    self_name: Optional[str]
+    class_key: Optional[Tuple[str, str]]
+
+
+_BINOP_SYMBOL = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mod: "%",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Pow: "**",
+}
+
+_CHECKED_COMPARATORS = (
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.Eq,
+    ast.NotEq,
+)
+
+
+class UnitInterpreter:
+    """Interprocedural unit-inference engine over a source set."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        self.sources = list(sources)
+        self.graph = CallGraph(self.sources)
+        self.aliases: Dict[str, Dict[str, str]] = {
+            s.module: import_aliases(s.tree, s.module) for s in self.sources
+        }
+        self.modules: List[str] = sorted(
+            (s.module for s in self.sources), key=len, reverse=True
+        )
+        self.class_units: Dict[Tuple[str, str], Dict[str, Unit]] = {}
+        for source in self.sources:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.class_units[(source.module, node.name)] = (
+                        class_attr_units(node, self.aliases[source.module])
+                    )
+        self.summaries: Dict[Tuple[str, str], FunctionSummary] = {}
+        for info in self.graph.functions:
+            self.summaries[info.key] = self._initial_summary(info)
+
+    # -- summary construction ------------------------------------------
+    def _initial_summary(self, info: FunctionInfo) -> FunctionSummary:
+        node = info.node
+        aliases = self.aliases[info.module]
+        doc = docstring_units(node)
+        params: Dict[str, Optional[Unit]] = {}
+        args = node.args
+        annotated = list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        )
+        for arg in annotated:
+            declared = annotation_unit(arg.annotation, aliases)
+            if declared is None:
+                declared = doc.get(arg.arg)
+            if declared is None:
+                declared = suffix_unit(arg.arg)
+            params[arg.arg] = declared
+        positional = [a.arg for a in args.posonlyargs] + [
+            a.arg for a in args.args
+        ]
+        ret = annotation_unit(node.returns, aliases)
+        if ret is None:
+            ret = doc.get("return")
+        if ret is None:
+            ret = suffix_unit(info.name)
+        declared_ret = ret is not None
+        class_key: Optional[Tuple[str, str]] = None
+        self_name: Optional[str] = None
+        head = info.qualname.split(".")[0]
+        if "." in info.qualname and (info.module, head) in self.class_units:
+            class_key = (info.module, head)
+            if positional and positional[0] in ("self", "cls"):
+                self_name = positional[0]
+        return FunctionSummary(
+            info=info,
+            params=params,
+            positional=positional,
+            ret=ret,
+            declared_ret=declared_ret,
+            self_name=self_name,
+            class_key=class_key,
+        )
+
+    # -- call-site resolution ------------------------------------------
+    def resolve_call(
+        self, call: ast.Call, aliases: Mapping[str, str]
+    ) -> Tuple[Optional[FunctionSummary], Optional[Unit], bool]:
+        """(unique summary, consensus return unit, is_method_call).
+
+        The summary is returned only when the callee is unambiguous —
+        resolved to an exact module.qualname, or the simple name has a
+        single definition anywhere in the scanned tree.  The return
+        unit additionally survives ambiguity when every candidate
+        agrees on it.
+        """
+        func = call.func
+        is_attr = isinstance(func, ast.Attribute)
+        resolved = resolve_name(func, aliases)
+        if resolved is not None:
+            for module in self.modules:
+                if resolved.startswith(module + "."):
+                    qual = resolved[len(module) + 1:]
+                    summary = self.summaries.get((module, qual))
+                    if summary is not None:
+                        return summary, summary.ret, is_attr
+        simple = func.attr if is_attr else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if simple is None:
+            return None, None, is_attr
+        candidates = [
+            self.summaries[info.key]
+            for info in self.graph.by_name.get(simple, ())
+        ]
+        if not candidates:
+            return None, None, is_attr
+        rets = {c.ret for c in candidates}
+        consensus = rets.pop() if len(rets) == 1 else None
+        if len(candidates) == 1:
+            return candidates[0], consensus, is_attr
+        return None, consensus, is_attr
+
+    # -- the fixpoint --------------------------------------------------
+    def run(self, passes: int = 3) -> List[UnitViolation]:
+        """Infer units for every function; report on the final pass."""
+        ordered = sorted(
+            self.graph.functions, key=lambda f: (f.module, f.qualname)
+        )
+        violations: List[UnitViolation] = []
+        for index in range(max(1, passes)):
+            final = index == max(1, passes) - 1
+            sink = violations if final else None
+            for info in ordered:
+                inference = _FunctionInference(self, info, sink)
+                ret = inference.infer()
+                summary = self.summaries[info.key]
+                if not summary.declared_ret:
+                    summary.ret = ret
+        return violations
+
+
+class _FunctionInference:
+    """One flow-ordered pass over a single function body."""
+
+    def __init__(
+        self,
+        engine: UnitInterpreter,
+        info: FunctionInfo,
+        sink: Optional[List[UnitViolation]],
+    ) -> None:
+        self.engine = engine
+        self.info = info
+        self.sink = sink
+        self.summary = engine.summaries[info.key]
+        self.aliases = engine.aliases[info.module]
+        self.doc = docstring_units(info.node)
+        self.env: Dict[str, Optional[Unit]] = dict(self.summary.params)
+        self.ret_units: List[Optional[Unit]] = []
+        self._nested: Set[ast.AST] = {
+            child
+            for child in ast.walk(info.node)
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and child is not info.node
+        }
+
+    # -- reporting -----------------------------------------------------
+    def _report(
+        self,
+        kind: str,
+        node: ast.AST,
+        left: Unit,
+        right: Unit,
+        detail: str,
+    ) -> None:
+        if self.sink is None:
+            return
+        self.sink.append(
+            UnitViolation(
+                kind=kind,
+                source=self.info.source,
+                line=getattr(node, "lineno", 1),
+                left=left,
+                right=right,
+                detail=detail,
+                function=self.info.qualname,
+            )
+        )
+
+    # -- declared units for names/attributes ---------------------------
+    def _declared_name(self, name: str) -> Optional[Unit]:
+        declared = self.doc.get(name)
+        if declared is not None:
+            return declared
+        return suffix_unit(name)
+
+    def _attr_unit(self, node: ast.Attribute) -> Optional[Unit]:
+        if (
+            isinstance(node.value, ast.Name)
+            and self.summary.self_name is not None
+            and node.value.id == self.summary.self_name
+            and self.summary.class_key is not None
+        ):
+            class_units = self.engine.class_units.get(
+                self.summary.class_key, {}
+            )
+            declared = class_units.get(node.attr)
+            if declared is not None:
+                return declared
+        return suffix_unit(node.attr)
+
+    # -- expression evaluation -----------------------------------------
+    def eval(self, node: Optional[ast.AST]) -> Optional[Unit]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return self._declared_name(node.id)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.Attribute):
+            return self._attr_unit(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, (ast.UAdd, ast.USub)):
+                return self.eval(node.operand)
+            self.eval(node.operand)
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.eval(value)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            body = self.eval(node.body)
+            orelse = self.eval(node.orelse)
+            if body is not None and orelse is not None and body == orelse:
+                return body
+            return body if orelse is None else orelse if body is None else None
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.eval(element)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            value = self.eval(node.value)
+            self._bind(node.target, value, node)
+            return value
+        return None
+
+    def _eval_binop(self, node: ast.BinOp) -> Optional[Unit]:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        op = node.op
+        symbol = _BINOP_SYMBOL.get(type(op), "?")
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mod)):
+            if left is not None and right is not None and left != right:
+                self._report(
+                    "arith",
+                    node,
+                    left,
+                    right,
+                    f"'{symbol}' mixes {left} with {right}",
+                )
+                return left
+            return left if left is not None else right
+        if isinstance(op, ast.Mult):
+            if left is not None and right is not None:
+                return unit_mul(left, right)
+            return None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                return unit_div(left, right)
+            return None
+        if isinstance(op, ast.Pow):
+            if (
+                left is not None
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+            ):
+                return unit_pow(left, node.right.value)
+            return None
+        return None
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        values = [node.left] + list(node.comparators)
+        units = [self.eval(value) for value in values]
+        for op, lhs, rhs in zip(node.ops, units, units[1:]):
+            if not isinstance(op, _CHECKED_COMPARATORS):
+                continue
+            if lhs is not None and rhs is not None and lhs != rhs:
+                self._report(
+                    "compare",
+                    node,
+                    lhs,
+                    rhs,
+                    f"comparison mixes {lhs} with {rhs}",
+                )
+
+    def _eval_call(self, node: ast.Call) -> Optional[Unit]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                self.eval(keyword.value)
+        resolved = resolve_name(node.func, self.aliases)
+        if resolved in TRANSPARENT_CALLS:
+            units = [self.eval(arg) for arg in node.args]
+            for keyword in node.keywords:
+                self.eval(keyword.value)
+            return units[0] if units else None
+        if resolved in COMPARABLE_CALLS:
+            return self._eval_comparable(node, resolved)
+        summary, ret, is_attr = self.engine.resolve_call(node, self.aliases)
+        if summary is None and isinstance(node.func, ast.Attribute):
+            if node.func.attr in TRANSPARENT_METHODS:
+                for arg in node.args:
+                    self.eval(arg)
+                return self.eval(node.func.value)
+        if summary is not None:
+            self._check_call_args(node, summary, is_attr)
+        else:
+            for arg in node.args:
+                self.eval(arg)
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    self.eval(keyword.value)
+        return ret
+
+    def _eval_comparable(
+        self, node: ast.Call, resolved: str
+    ) -> Optional[Unit]:
+        args = list(node.args)
+        if resolved == "numpy.where" and args:
+            self.eval(args[0])
+            args = args[1:]
+        units = [self.eval(arg) for arg in args]
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+        known = [u for u in units if u is not None]
+        for first, second in zip(known, known[1:]):
+            if first != second:
+                tail = resolved.rsplit(".", 1)[-1]
+                self._report(
+                    "compare",
+                    node,
+                    first,
+                    second,
+                    f"{tail}() mixes {first} with {second}",
+                )
+                break
+        return known[0] if known else None
+
+    def _check_call_args(
+        self, node: ast.Call, summary: FunctionSummary, is_attr: bool
+    ) -> None:
+        positional = list(summary.positional)
+        if is_attr and positional and positional[0] in ("self", "cls"):
+            positional = positional[1:]
+        callee = summary.info.qualname
+        for index, arg in enumerate(node.args):
+            actual = self.eval(arg)
+            if isinstance(arg, ast.Starred) or index >= len(positional):
+                continue
+            declared = summary.params.get(positional[index])
+            if (
+                actual is not None
+                and declared is not None
+                and actual != declared
+            ):
+                self._report(
+                    "arg",
+                    arg,
+                    actual,
+                    declared,
+                    f"argument '{positional[index]}' of {callee}() "
+                    f"declares {declared} but receives {actual}",
+                )
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            actual = self.eval(keyword.value)
+            declared = summary.params.get(keyword.arg)
+            if (
+                actual is not None
+                and declared is not None
+                and actual != declared
+            ):
+                self._report(
+                    "arg",
+                    keyword.value,
+                    actual,
+                    declared,
+                    f"argument '{keyword.arg}' of {callee}() "
+                    f"declares {declared} but receives {actual}",
+                )
+
+    # -- statement execution -------------------------------------------
+    def _bind(
+        self,
+        target: ast.AST,
+        value: Optional[Unit],
+        node: ast.AST,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            declared = self._declared_name(target.id)
+            if (
+                declared is not None
+                and value is not None
+                and value != declared
+            ):
+                self._report(
+                    "bind",
+                    node,
+                    value,
+                    declared,
+                    f"'{target.id}' declares {declared} but is bound "
+                    f"to {value}",
+                )
+                self.env[target.id] = declared
+            else:
+                self.env[target.id] = (
+                    value if value is not None else declared
+                )
+            return
+        if isinstance(target, ast.Attribute):
+            declared = self._attr_unit(target)
+            if (
+                declared is not None
+                and value is not None
+                and value != declared
+            ):
+                self._report(
+                    "bind",
+                    node,
+                    value,
+                    declared,
+                    f"'{target.attr}' declares {declared} but is bound "
+                    f"to {value}",
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, None, node)
+            return
+        if isinstance(target, ast.Subscript):
+            declared = self.eval(target.value)
+            if (
+                declared is not None
+                and value is not None
+                and value != declared
+            ):
+                self._report(
+                    "bind",
+                    node,
+                    value,
+                    declared,
+                    f"element store into a {declared} container is "
+                    f"bound to {value}",
+                )
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, None, node)
+
+    def _exec(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if stmt in self._nested and isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(stmt, ast.Assign):
+                value = self.eval(stmt.value)
+                for target in stmt.targets:
+                    self._bind(target, value, stmt)
+            elif isinstance(stmt, ast.AnnAssign):
+                declared = annotation_unit(stmt.annotation, self.aliases)
+                value = self.eval(stmt.value) if stmt.value else None
+                if isinstance(stmt.target, ast.Name) and declared is not None:
+                    if value is not None and value != declared:
+                        self._report(
+                            "bind",
+                            stmt,
+                            value,
+                            declared,
+                            f"'{stmt.target.id}' is annotated {declared} "
+                            f"but bound to {value}",
+                        )
+                    self.env[stmt.target.id] = declared
+                elif stmt.value is not None:
+                    self._bind(stmt.target, value, stmt)
+            elif isinstance(stmt, ast.AugAssign):
+                current = self.eval(stmt.target)
+                value = self.eval(stmt.value)
+                symbol = _BINOP_SYMBOL.get(type(stmt.op), "?")
+                if isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mod)):
+                    if (
+                        current is not None
+                        and value is not None
+                        and current != value
+                    ):
+                        self._report(
+                            "arith",
+                            stmt,
+                            current,
+                            value,
+                            f"'{symbol}=' mixes {current} with {value}",
+                        )
+                elif isinstance(stmt.op, ast.Mult):
+                    result = (
+                        unit_mul(current, value)
+                        if current is not None and value is not None
+                        else None
+                    )
+                    if isinstance(stmt.target, ast.Name):
+                        self.env[stmt.target.id] = result
+                elif isinstance(stmt.op, (ast.Div, ast.FloorDiv)):
+                    result = (
+                        unit_div(current, value)
+                        if current is not None and value is not None
+                        else None
+                    )
+                    if isinstance(stmt.target, ast.Name):
+                        self.env[stmt.target.id] = result
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None and not (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None
+                ):
+                    value = self.eval(stmt.value)
+                    self.ret_units.append(value)
+                    declared = (
+                        self.summary.ret if self.summary.declared_ret else None
+                    )
+                    if (
+                        declared is not None
+                        and value is not None
+                        and value != declared
+                    ):
+                        self._report(
+                            "return",
+                            stmt,
+                            value,
+                            declared,
+                            f"{self.info.qualname}() declares return unit "
+                            f"{declared} but returns {value}",
+                        )
+            elif isinstance(stmt, ast.Expr):
+                self.eval(stmt.value)
+            elif isinstance(stmt, ast.If):
+                self.eval(stmt.test)
+                self._exec(stmt.body)
+                self._exec(stmt.orelse)
+            elif isinstance(stmt, ast.For):
+                self.eval(stmt.iter)
+                self._bind(stmt.target, None, stmt)
+                self._exec(stmt.body)
+                self._exec(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                self.eval(stmt.test)
+                self._exec(stmt.body)
+                self._exec(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self.eval(item.context_expr)
+                    if item.optional_vars is not None:
+                        self._bind(item.optional_vars, None, stmt)
+                self._exec(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                self._exec(stmt.body)
+                for handler in stmt.handlers:
+                    self._exec(handler.body)
+                self._exec(stmt.orelse)
+                self._exec(stmt.finalbody)
+            elif isinstance(stmt, ast.Assert):
+                self.eval(stmt.test)
+            elif isinstance(stmt, ast.Raise):
+                if stmt.exc is not None:
+                    self.eval(stmt.exc)
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.env.pop(target.id, None)
+
+    def infer(self) -> Optional[Unit]:
+        body = getattr(self.info.node, "body", [])
+        self._exec(body)
+        known = {u for u in self.ret_units if u is not None}
+        if len(known) == 1 and all(u is not None for u in self.ret_units):
+            return known.pop()
+        if len(known) == 1:
+            # Some paths return an unknown value; trust the known one
+            # only if nothing disagrees.
+            return known.pop()
+        return None

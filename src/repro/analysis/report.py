@@ -106,6 +106,44 @@ class Report:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return dict(sorted(counts.items()))
 
+    def suppressed_counts_by_rule(self) -> Dict[str, int]:
+        """Per-rule waiver tally — the numbers WAIVERS.md budgets."""
+        counts: Dict[str, int] = {}
+        for finding in self.suppressed:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def filtered(self, paths: Sequence[str]) -> "Report":
+        """A view keeping findings under the given path prefixes.
+
+        Analysis always runs over the whole tree (interprocedural
+        summaries and suppression bookkeeping need global context);
+        this narrows the *reported* findings for ``--paths`` /
+        ``--changed-only`` runs.  Prefixes match path components, so
+        ``repro/simulator`` matches ``repro/simulator/engine.py`` but
+        not ``repro/simulator_v2.py``; a leading ``src/`` on a filter
+        is ignored to accept repo-relative spellings.
+        """
+        normalized = []
+        for path in paths:
+            cleaned = path.strip().rstrip("/")
+            if cleaned.startswith("src/"):
+                cleaned = cleaned[len("src/"):]
+            if cleaned:
+                normalized.append(cleaned)
+
+        def keep(finding: Finding) -> bool:
+            return any(
+                finding.path == prefix
+                or finding.path.startswith(prefix + "/")
+                for prefix in normalized
+            )
+
+        return Report(
+            findings=[f for f in self.findings if keep(f)],
+            files_scanned=self.files_scanned,
+        )
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
@@ -141,7 +179,78 @@ class Report:
             "active": [f.to_dict() for f in self.active],
             "suppressed": [f.to_dict() for f in self.suppressed],
             "counts_by_rule": self.counts_by_rule(),
+            "suppressed_counts_by_rule": self.suppressed_counts_by_rule(),
             "exit_code": self.exit_code,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_sarif(self, tool_version: str = "1.0.0") -> str:
+        """Render as SARIF 2.1.0 for GitHub code scanning upload.
+
+        Active findings become ``level: error`` results; suppressed
+        findings are included with an ``inSource`` suppression object
+        carrying the waiver reason, so code scanning shows them as
+        dismissed rather than dropping them silently.
+        """
+        rule_ids = sorted({f.rule for f in self.findings})
+        rules = [
+            {
+                "id": rule_id,
+                "name": rule_id,
+                "shortDescription": {
+                    "text": f"repro.analysis rule {rule_id} "
+                    f"(family {rule_family(rule_id)})"
+                },
+                "defaultConfiguration": {"level": "error"},
+            }
+            for rule_id in rule_ids
+        ]
+
+        def result(finding: Finding) -> Dict[str, object]:
+            entry: Dict[str, object] = {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": max(1, finding.line)},
+                        }
+                    }
+                ],
+            }
+            if finding.suppressed:
+                entry["suppressions"] = [
+                    {
+                        "kind": "inSource",
+                        "justification": finding.suppression_reason or "",
+                    }
+                ]
+            return entry
+
+        ordered = sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+        )
+        payload = {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.analysis",
+                            "version": tool_version,
+                            "rules": rules,
+                        }
+                    },
+                    "columnKind": "utf16CodeUnits",
+                    "results": [result(f) for f in ordered],
+                }
+            ],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 

@@ -1,0 +1,102 @@
+"""UNIT: interprocedural physical-dimension checking.
+
+The simulator is wall-to-wall numeric code mixing seconds, integer
+ticks, records/s, bytes, and bytes/s, and its headline identity —
+``time_s == tick * dt`` — is dimensional: ``dt`` is *seconds per
+tick*, so multiplying a tick count by it produces seconds, and adding
+a tick count to a seconds value is always a bug.  These rules run the
+abstract interpreter of :mod:`repro.analysis.absint` over the import
+closure of the numeric packages and flag dimension-mixing operations:
+
+- **UNIT001** — additive mixing: ``+``/``-``/``%`` (including
+  augmented assignment) between two expressions with *different known*
+  dimensions, e.g. adding seconds to ticks.
+- **UNIT002** — ordering/equality mixing: a comparison, ``min``/
+  ``max``, ``np.minimum``/``np.maximum``/``np.clip``/``np.where``
+  whose operands carry different known dimensions, e.g. comparing a
+  rate to a count.
+- **UNIT003** — call mixing: an argument whose inferred dimension
+  contradicts the callee parameter's declared dimension (suffix,
+  ``Annotated`` alias, or docstring), e.g. passing a tick count where
+  a ``*_s`` parameter is declared.  Only unambiguously resolved
+  callees are checked.
+- **UNIT004** — binding mixing: assigning or returning a value whose
+  inferred dimension contradicts the target's declared dimension,
+  e.g. ``elapsed_s = self._tick_index``.
+
+Unknown dimensions never warn: a numeric literal, an unannotated
+helper result, or an ambiguous call can combine with anything.  The
+pass therefore only fires when *both* sides positively declare or
+infer conflicting dimensions — the low-false-positive direction for a
+gate that runs on every commit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.absint import UnitInterpreter
+from repro.analysis.ast_utils import SourceFile
+from repro.analysis.callgraph import reachable_modules
+from repro.analysis.report import Finding
+
+UNIT_ARITH = "UNIT001"
+UNIT_COMPARE = "UNIT002"
+UNIT_ARG = "UNIT003"
+UNIT_BIND = "UNIT004"
+
+#: Module prefixes whose import closure carries the dimensional
+#: invariants.  The closure pulls in everything these packages import
+#: (``repro.dataflow``, ``repro.observability`` …), matching how the
+#: code actually executes.
+DEFAULT_UNIT_ROOTS = (
+    "repro.simulator",
+    "repro.workloads",
+    "repro.faults",
+    "repro.scaling",
+    "repro.placement",
+)
+
+_KIND_RULES = {
+    "arith": UNIT_ARITH,
+    "compare": UNIT_COMPARE,
+    "arg": UNIT_ARG,
+    "bind": UNIT_BIND,
+    "return": UNIT_BIND,
+}
+
+
+def check_unit(
+    sources: Sequence[SourceFile],
+    roots: Optional[Iterable[str]] = DEFAULT_UNIT_ROOTS,
+) -> List[Finding]:
+    """Run unit inference over ``sources``; report inside the scope.
+
+    Inference always runs over the *whole* source set so function
+    summaries are as precise as possible; ``roots`` only restricts
+    which modules' violations become findings (``None`` reports
+    everywhere — fixture mode).
+    """
+    interpreter = UnitInterpreter(sources)
+    violations = interpreter.run()
+    if roots is not None:
+        scope = reachable_modules(sources, roots)
+        violations = [v for v in violations if v.source.module in scope]
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, str, int, str]] = set()
+    for violation in violations:
+        rule = _KIND_RULES[violation.kind]
+        key = (rule, violation.source.relpath, violation.line, violation.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Finding(
+                rule=rule,
+                path=violation.source.relpath,
+                line=violation.line,
+                message=f"{violation.function}: {violation.detail}",
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

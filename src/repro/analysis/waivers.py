@@ -1,0 +1,75 @@
+"""WAIVERS.md: the audited budget for inline suppressions.
+
+Inline ``# repro: allow[RULE] reason`` comments are the per-site
+escape hatch; this module holds the *global* accounting.  WAIVERS.md
+records, per rule, how many inline waivers the tree is allowed to
+carry and why each one exists.  CI runs the analyzer with
+``--waivers WAIVERS.md`` and fails when:
+
+- the tree carries **more** waivers for a rule than the budget —
+  someone added a suppression without recording why in WAIVERS.md; or
+- the budget lists **more** than the tree carries — a waiver was
+  removed (good!) but the ledger was not updated, which would let the
+  next suppression sneak in unrecorded.
+
+The file format is a plain markdown table; any row whose first cell
+is a rule id counts::
+
+    | Rule    | Count | Why |
+    |---------|-------|-----|
+    | RACE001 | 2     | pool initializer writes worker-local globals |
+
+Rows with a non-rule first cell (headers, separators) are ignored, so
+the table can carry arbitrary prose around it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.analysis.report import Report
+
+_WAIVER_ROW_RE = re.compile(
+    r"^\s*\|\s*([A-Z]{2,}\d{3})\s*\|\s*(\d+)\s*\|\s*(.+?)\s*\|\s*$"
+)
+
+
+def parse_waivers(text: str) -> Dict[str, int]:
+    """Rule-id -> budgeted waiver count from a WAIVERS.md document.
+
+    Multiple rows for the same rule sum — one row per reasoned waiver
+    group is the intended style.
+    """
+    budgets: Dict[str, int] = {}
+    for line in text.splitlines():
+        match = _WAIVER_ROW_RE.match(line)
+        if match is None:
+            continue
+        rule = match.group(1)
+        budgets[rule] = budgets.get(rule, 0) + int(match.group(2))
+    return budgets
+
+
+def check_waiver_budget(
+    report: Report, budgets: Dict[str, int]
+) -> List[str]:
+    """Violations of the waiver ledger; empty means the budget holds."""
+    actual = report.suppressed_counts_by_rule()
+    errors: List[str] = []
+    for rule in sorted(set(actual) | set(budgets)):
+        have = actual.get(rule, 0)
+        allowed = budgets.get(rule, 0)
+        if have > allowed:
+            errors.append(
+                f"{rule}: {have} inline waiver(s) in the tree but "
+                f"WAIVERS.md budgets {allowed}; add a WAIVERS.md entry "
+                "explaining the new waiver(s)"
+            )
+        elif have < allowed:
+            errors.append(
+                f"{rule}: WAIVERS.md budgets {allowed} waiver(s) but the "
+                f"tree carries {have}; update the ledger so removed "
+                "waivers cannot silently return"
+            )
+    return errors

@@ -541,7 +541,7 @@ class CAPSysController:
             # ---- advance to the next policy tick or chaos event ----
             horizon = min(now + cfg.policy_interval_s, duration_s)
             if pending and pending[0].time_s < horizon - 1e-9:
-                horizon = max(pending[0].time_s, now + cfg.sim.dt)
+                horizon = max(pending[0].time_s, now + cfg.sim.tick_duration_s)
             deployment.engine.run_until(horizon - deployment.started_at_s)
             now = deployment.started_at_s + deployment.engine.time_s
             self._drain_samples(deployment, result)

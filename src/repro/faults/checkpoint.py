@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.units import Bytes, BytesPerSecond, Seconds
+
 MIB = 1024.0 ** 2
 
 
@@ -52,11 +54,11 @@ class CheckpointConfig:
     """
 
     enabled: bool = False
-    interval_s: float = 30.0
+    interval_s: Seconds = 30.0
     write_bandwidth_share: float = 0.2
-    restore_bandwidth_bytes_per_s: float = 200 * MIB
+    restore_bandwidth_bytes_per_s: BytesPerSecond = 200 * MIB
     replay_factor: float = 0.5
-    max_recovery_s: float = 300.0
+    max_recovery_s: Seconds = 300.0
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -73,10 +75,10 @@ class CheckpointConfig:
 
 def recovery_downtime(
     config: CheckpointConfig,
-    restart_s: float,
-    restore_bytes: float,
-    time_since_checkpoint_s: float,
-) -> float:
+    restart_s: Seconds,
+    restore_bytes: Bytes,
+    time_since_checkpoint_s: Seconds,
+) -> Seconds:
     """Modelled downtime for recovering from a lost worker.
 
     Args:

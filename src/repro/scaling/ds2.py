@@ -23,6 +23,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.dataflow.graph import LogicalGraph
 from repro.scaling.rates import OperatorRates
+from repro.units import Fraction, RecordsPerSecond
 
 OperatorKey = Tuple[str, str]
 
@@ -57,8 +58,8 @@ class DS2Controller:
         self,
         graph: LogicalGraph,
         max_parallelism: Optional[int] = None,
-        utilisation_target: float = 1.0,
-        min_true_rate: float = 1e-6,
+        utilisation_target: Fraction = 1.0,
+        min_true_rate: RecordsPerSecond = 1e-6,
     ) -> None:
         graph.validate()
         if not 0 < utilisation_target <= 1.0:
@@ -72,7 +73,7 @@ class DS2Controller:
     def decide(
         self,
         operator_rates: Mapping[OperatorKey, OperatorRates],
-        target_source_rates: Mapping[str, float],
+        target_source_rates: Mapping[str, RecordsPerSecond],
         current_parallelism: Optional[Mapping[str, int]] = None,
     ) -> ScalingDecision:
         """One DS2 evaluation.

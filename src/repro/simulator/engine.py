@@ -52,6 +52,7 @@ from repro.simulator.metrics import MetricsCollector, TickSample
 from repro.simulator.network import NicModel
 from repro.simulator.results import SimulationSummary
 from repro.simulator.state_backend import DiskModel
+from repro.units import Seconds, Ticks
 from repro.workloads.rates import ConstantRate, RatePattern
 
 MIB = 1024.0 ** 2
@@ -59,6 +60,10 @@ _HUGE_RATE = 1e12
 #: Sentinel tick index for "no event on the horizon" (far beyond any
 #: representable run length).
 _MAX_TICK = 2 ** 62
+
+#: One tick, as a dimensional quantity: multiplying ``dt`` (seconds
+#: per tick) by this yields a duration in seconds.
+_ONE_TICK = 1.0
 
 
 @dataclass(frozen=True)
@@ -111,10 +116,22 @@ class SimulationConfig:
             raise ValueError("buffer_bytes_per_task must be positive")
         if self.min_queue_records <= 0:
             raise ValueError("min_queue_records must be positive")
-        if self.max_buffer_seconds < self.dt:
+        if self.max_buffer_seconds < self.tick_duration_s:
             raise ValueError("max_buffer_seconds must be at least one tick")
         if self.noise_std < 0:
             raise ValueError("noise_std must be non-negative")
+
+    @property
+    def tick_duration_s(self) -> Seconds:
+        """One tick's extent in simulated seconds.
+
+        Numerically equal to ``dt``, but dimensionally ``dt`` is
+        seconds *per tick* (the conversion factor in the engine's
+        ``time_s == tick * dt`` identity) while this is a duration —
+        ``dt`` times one tick.  Use this when comparing or adding a
+        tick's worth of time to other second-valued quantities.
+        """
+        return self.dt * _ONE_TICK
 
 
 SourceRates = Mapping[Union[str, Tuple[str, str]], Union[float, RatePattern]]
@@ -516,7 +533,7 @@ class FluidSimulation:
             factor[spiky] = bump
         return factor
 
-    def _next_gc_boundary(self, time_s: float) -> Optional[float]:
+    def _next_gc_boundary(self, time_s: Seconds) -> Optional[Seconds]:
         """Earliest GC-spike (de)activation strictly after ``time_s``."""
         spiky = self.gc_period > 0
         if not np.any(spiky):
@@ -823,7 +840,7 @@ class FluidSimulation:
         self._ff_prev_queue = self.queue.copy()
         self._ff_prev_proc = self._last_proc.copy()
 
-    def _first_tick_at(self, time_s: float) -> int:
+    def _first_tick_at(self, time_s: Seconds) -> Ticks:
         """Smallest tick index whose start time triggers at ``time_s``.
 
         Mirrors the engine's 1e-9 trigger tolerance: returns the first
@@ -875,7 +892,7 @@ class FluidSimulation:
         self._target_arr = target
         self._target_until_tick = until
 
-    def _event_horizon_tick(self) -> int:
+    def _event_horizon_tick(self) -> Ticks:
         """First future tick whose inputs may differ from the fixed point.
 
         The earliest of: the next rate-pattern breakpoint (the cached
@@ -969,7 +986,7 @@ class FluidSimulation:
     # ------------------------------------------------------------------
     # Drivers
     # ------------------------------------------------------------------
-    def run(self, duration_s: float, warmup_s: float = 0.0) -> SimulationSummary:
+    def run(self, duration_s: Seconds, warmup_s: Seconds = 0.0) -> SimulationSummary:
         """Simulate for ``duration_s`` and summarise the post-warmup part."""
         if duration_s <= 0:
             raise ValueError("duration must be positive")
@@ -977,11 +994,11 @@ class FluidSimulation:
         self._advance_to_tick(self._tick_index + ticks)
         return self.metrics.summarize(warmup_s=warmup_s)
 
-    def run_until(self, time_s: float) -> None:
+    def run_until(self, time_s: Seconds) -> None:
         """Advance the simulation up to an absolute simulated time."""
         self._advance_to_tick(self._first_tick_at(time_s))
 
-    def _advance_to_tick(self, end_tick: int) -> None:
+    def _advance_to_tick(self, end_tick: Ticks) -> None:
         while self._tick_index < end_tick:
             if not (self._ff_enabled and self._try_leap(end_tick)):
                 self.step()

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.observability import MetricRegistry
 from repro.simulator.results import JobSummary, SimulationSummary
+from repro.units import Seconds, SecondsPerTick, Ticks
 
 
 @dataclass(frozen=True)
@@ -174,7 +175,7 @@ class MetricsCollector:
         self,
         job_ids: List[str],
         task_uids: List[str],
-        window_ticks: int = 60,
+        window_ticks: Ticks = 60,
         registry: Optional[MetricRegistry] = None,
     ) -> None:
         if window_ticks < 1:
@@ -319,22 +320,22 @@ class MetricsCollector:
         }
 
     def _worker_mean(
-        self, store: Optional[_ColumnStore], warmup_s: float, dt: float
+        self, store: Optional[_ColumnStore], warmup_s: Seconds, dt: SecondsPerTick
     ) -> np.ndarray:
         if store is None or store.rows == 0:
             raise RuntimeError("no worker samples recorded yet")
         start = min(int(warmup_s / dt), store.rows - 1)
         return np.mean(store.data()[start:], axis=0)
 
-    def worker_cpu_utilisation(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
+    def worker_cpu_utilisation(self, warmup_s: Seconds = 0.0, dt: SecondsPerTick = 1.0) -> np.ndarray:
         """Mean post-warmup CPU utilisation per worker."""
         return self._worker_mean(self._worker_cpu, warmup_s, dt)
 
-    def worker_io_rate(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
+    def worker_io_rate(self, warmup_s: Seconds = 0.0, dt: SecondsPerTick = 1.0) -> np.ndarray:
         """Mean post-warmup state-backend bytes/s per worker."""
         return self._worker_mean(self._worker_io, warmup_s, dt)
 
-    def worker_net_rate(self, warmup_s: float = 0.0, dt: float = 1.0) -> np.ndarray:
+    def worker_net_rate(self, warmup_s: Seconds = 0.0, dt: SecondsPerTick = 1.0) -> np.ndarray:
         """Mean post-warmup outbound cross-worker bytes/s per worker."""
         return self._worker_mean(self._worker_net, warmup_s, dt)
 
@@ -358,7 +359,7 @@ class MetricsCollector:
             for row in store.data()
         ]
 
-    def summarize(self, warmup_s: float = 0.0) -> SimulationSummary:
+    def summarize(self, warmup_s: Seconds = 0.0) -> SimulationSummary:
         """Average the post-warmup portion of every job's series."""
         jobs: Dict[str, JobSummary] = {}
         duration = 0.0

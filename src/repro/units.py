@@ -1,0 +1,49 @@
+"""Physical-unit aliases for annotating numeric signatures.
+
+The simulator mixes five base dimensions — seconds, integer ticks,
+records, bytes, and derived rates — and most of the time the unit is
+carried by a naming convention (``*_s``, ``*_ticks``, ``*_bytes``, see
+DESIGN.md section 6).  When a parameter or return value cannot carry a
+suffix (it would rename a public API) the signature can instead use one
+of these ``typing.Annotated`` aliases; the static analyzer
+(``repro.analysis`` rule family UNIT) resolves them to the same
+dimension lattice it uses for suffix-derived units.
+
+The aliases are ordinary type annotations: under ``from __future__
+import annotations`` they cost nothing at runtime, and at type-check
+time they degrade to their underlying ``float``/``int``.
+
+The string payload uses a tiny unit grammar: base dimensions ``s``,
+``ms``, ``tick``, ``byte``, ``record``, the dimensionless ``1``, and
+``*``/``/``/``^`` composition — e.g. ``"unit:byte/s"`` or
+``"unit:s/tick"``.  Inline ``Annotated[float, "unit:..."]`` works
+anywhere these names are inconvenient.
+"""
+
+from __future__ import annotations
+
+from typing import Annotated
+
+Seconds = Annotated[float, "unit:s"]
+Milliseconds = Annotated[float, "unit:ms"]
+Ticks = Annotated[int, "unit:tick"]
+SecondsPerTick = Annotated[float, "unit:s/tick"]
+Hertz = Annotated[float, "unit:1/s"]
+Bytes = Annotated[float, "unit:byte"]
+Records = Annotated[float, "unit:record"]
+BytesPerSecond = Annotated[float, "unit:byte/s"]
+RecordsPerSecond = Annotated[float, "unit:record/s"]
+Fraction = Annotated[float, "unit:1"]
+
+__all__ = [
+    "Seconds",
+    "Milliseconds",
+    "Ticks",
+    "SecondsPerTick",
+    "Hertz",
+    "Bytes",
+    "Records",
+    "BytesPerSecond",
+    "RecordsPerSecond",
+    "Fraction",
+]

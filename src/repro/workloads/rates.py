@@ -15,20 +15,22 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.units import RecordsPerSecond, Seconds
+
 
 class RatePattern:
     """Base class: target input rate as a function of simulated time."""
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         raise NotImplementedError
 
-    def __call__(self, time_s: float) -> float:
+    def __call__(self, time_s: Seconds) -> RecordsPerSecond:
         rate = self.rate_at(time_s)
         if rate < 0:
             raise ValueError(f"rate pattern produced negative rate {rate}")
         return rate
 
-    def next_change_after(self, time_s: float) -> Optional[float]:
+    def next_change_after(self, time_s: Seconds) -> Optional[Seconds]:
         """Earliest time strictly after ``time_s`` at which the rate may change.
 
         The fast-forward engine uses this to bound event-horizon leaps:
@@ -42,7 +44,7 @@ class RatePattern:
         """
         return None
 
-    def max_rate(self, horizon_s: float, step_s: float = 1.0) -> float:
+    def max_rate(self, horizon_s: Seconds, step_s: Seconds = 1.0) -> RecordsPerSecond:
         """Maximum rate over a horizon (used for capacity provisioning)."""
         steps = max(1, int(horizon_s / step_s))
         return max(self(i * step_s) for i in range(steps + 1))
@@ -58,10 +60,10 @@ class ConstantRate(RatePattern):
         if self.rate < 0:
             raise ValueError("rate must be non-negative")
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         return self.rate
 
-    def next_change_after(self, time_s: float) -> float:
+    def next_change_after(self, time_s: Seconds) -> Seconds:
         return math.inf
 
 
@@ -106,7 +108,7 @@ class StepSchedule(RatePattern):
             steps.append((t, rate))
         return cls(tuple(steps))
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         current = self.steps[0][1]
         for start, rate in self.steps:
             if time_s >= start:
@@ -115,11 +117,11 @@ class StepSchedule(RatePattern):
                 break
         return current
 
-    def change_times(self) -> List[float]:
+    def change_times(self) -> List[Seconds]:
         """Times at which the target rate changes (excluding t=0)."""
         return [t for t, _ in self.steps[1:]]
 
-    def next_change_after(self, time_s: float) -> float:
+    def next_change_after(self, time_s: Seconds) -> Seconds:
         for start, _ in self.steps[1:]:
             if start > time_s:
                 return start
@@ -146,12 +148,12 @@ class SquareWaveRate(RatePattern):
         if self.high < self.low:
             raise ValueError("high rate must be >= low rate")
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         phase = int(time_s // self.period_s) % 2
         first, second = (self.high, self.low) if self.start_high else (self.low, self.high)
         return first if phase == 0 else second
 
-    def next_change_after(self, time_s: float) -> float:
+    def next_change_after(self, time_s: Seconds) -> Seconds:
         if self.high == self.low:
             return math.inf
         boundary = (math.floor(time_s / self.period_s) + 1) * self.period_s
@@ -174,10 +176,10 @@ class SineRate(RatePattern):
         if self.amplitude < 0 or self.amplitude > self.mean:
             raise ValueError("amplitude must be within [0, mean]")
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         return self.mean + self.amplitude * math.sin(2 * math.pi * time_s / self.period_s)
 
-    def next_change_after(self, time_s: float) -> Optional[float]:
+    def next_change_after(self, time_s: Seconds) -> Optional[Seconds]:
         # Continuously varying: no enumerable breakpoints (unless flat).
         if self.amplitude == 0:
             return math.inf
@@ -197,10 +199,10 @@ class TimeShiftedRate(RatePattern):
     pattern: RatePattern
     offset_s: float
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         return self.pattern(time_s + self.offset_s)
 
-    def next_change_after(self, time_s: float) -> Optional[float]:
+    def next_change_after(self, time_s: Seconds) -> Optional[Seconds]:
         inner = self.pattern.next_change_after(time_s + self.offset_s)
         if inner is None or math.isinf(inner):
             return inner
@@ -226,13 +228,13 @@ class RampRate(RatePattern):
         if self.start < 0 or self.end < 0:
             raise ValueError("rates must be non-negative")
 
-    def rate_at(self, time_s: float) -> float:
+    def rate_at(self, time_s: Seconds) -> RecordsPerSecond:
         if time_s >= self.duration_s:
             return self.end
         frac = time_s / self.duration_s
         return self.start + (self.end - self.start) * frac
 
-    def next_change_after(self, time_s: float) -> Optional[float]:
+    def next_change_after(self, time_s: Seconds) -> Optional[Seconds]:
         if self.start == self.end or time_s >= self.duration_s:
             return math.inf
         # Mid-ramp the rate changes continuously; no leapable segment.

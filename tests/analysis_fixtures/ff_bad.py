@@ -1,0 +1,73 @@
+"""Positive FF fixture: every leap-safety sub-rule can fire.
+
+Scanned with ``check_ff(..., entries=(("ff_bad", "Engine._advance_to_tick"),),
+coverage={("ff_bad", "Engine"): ...}, scope=("ff_bad",))``. The test
+also drives FF000 by handing the checker a drifted entry/coverage
+configuration against this same module.
+"""
+
+import time
+
+
+class RatePattern:
+    """Stand-in for the repro.workloads.rates protocol."""
+
+    def rate_at(self, time_s):
+        raise NotImplementedError
+
+    def next_change_after(self, time_s):
+        return None
+
+
+class StepLike(RatePattern):
+    def __init__(self, t0, low, high):
+        self.t0 = t0
+        self.low = low
+        self.high = high
+
+    def rate_at(self, time_s):
+        return self.low if time_s < self.t0 else self.high
+
+    def next_change_after(self, time_s):
+        return self.t0 if time_s < self.t0 else None
+
+
+class Spiky(StepLike):
+    # FF002: overrides rate_at but inherits StepLike's breakpoint
+    # schedule, which describes the parent's curve.
+    def rate_at(self, time_s):
+        return 2.0 * self.high
+
+
+class Drifty(RatePattern):
+    def __init__(self, base, phase):
+        self.base = base
+        self.phase = phase
+
+    def rate_at(self, time_s):
+        return self.base
+
+    def next_change_after(self, time_s):
+        # FF003: reads self.phase, which rate_at never consults.
+        return time_s + self.phase
+
+
+class Engine:
+    def __init__(self):
+        self.queue = []
+        self.time_s = 0.0
+        self.tick = 0
+        self.wall_s = 0.0
+
+    def backlog(self):
+        return len(self.queue)
+
+    def _advance_to_tick(self, end_tick):
+        while self.tick < end_tick:
+            self.step()
+
+    def step(self):
+        self.queue.append(self.backlog())  # covered: fixed-point
+        self.time_s += 0.01  # covered: repeated-add
+        self.tick += 1  # covered: repeated-add
+        self.wall_s = time.time()  # FF001 uncovered write, FF004 clock

@@ -1,0 +1,65 @@
+"""Negative FF fixture: the shapes of ``ff_bad`` written leap-safely.
+
+Every instance write in the tick-loop closure is accounted for by the
+coverage spec the test supplies, no wall clock is read, and every rate
+pattern that overrides ``rate_at`` keeps its breakpoint schedule in
+step. Zero findings expected.
+"""
+
+
+class RatePattern:
+    """Stand-in for the repro.workloads.rates protocol."""
+
+    def rate_at(self, time_s):
+        raise NotImplementedError
+
+    def next_change_after(self, time_s):
+        return None
+
+
+class PlateauPattern(RatePattern):
+    def __init__(self, t0, low, high):
+        self.t0 = t0
+        self.low = low
+        self.high = high
+
+    def rate_at(self, time_s):
+        return self.low if time_s < self.t0 else self.high
+
+    def next_change_after(self, time_s):
+        return self.t0 if time_s < self.t0 else None
+
+
+class BoostedPattern(PlateauPattern):
+    # Overrides rate_at AND next_change_after together: no drift.
+    def rate_at(self, time_s):
+        return 2.0 * (self.low if time_s < self.t0 else self.high)
+
+    def next_change_after(self, time_s):
+        return self.t0 if time_s < self.t0 else None
+
+
+class ConservativePattern(RatePattern):
+    # Inheriting the RatePattern default (None = assume a change at
+    # every tick) is always safe, so overriding only rate_at is fine.
+    def rate_at(self, time_s):
+        return 42.0
+
+
+class CleanEngine:
+    def __init__(self):
+        self.queue = []
+        self.time_s = 0.0
+        self.tick = 0
+
+    def backlog(self):
+        return len(self.queue)
+
+    def _advance_to_tick(self, end_tick):
+        while self.tick < end_tick:
+            self.step()
+
+    def step(self):
+        self.queue.append(self.backlog())
+        self.time_s += 0.01
+        self.tick += 1

@@ -1,0 +1,46 @@
+"""Positive UNIT fixture: every dimension sub-rule fires.
+
+Scanned with ``check_unit(..., roots=None)`` so findings are reported
+without a ``repro.*`` module name. Units come from the name-suffix
+registry alone (``*_s`` seconds, ``*_ticks`` ticks, ``*_bytes`` bytes,
+``*_bytes_per_s`` bytes/second) plus the ``dt`` = seconds-per-tick
+convention.
+"""
+
+
+def backlog_drain_s(queue_bytes, drain_bytes_per_s):
+    """Seconds to drain the backlog: byte / (byte/s) = s."""
+    return queue_bytes / drain_bytes_per_s
+
+
+def mix_arith(deadline_s, horizon_ticks):
+    return deadline_s + horizon_ticks  # UNIT001: s + tick
+
+
+def mix_interprocedural(queue_bytes, drain_bytes_per_s, grace_ticks):
+    # UNIT001 via the callee's return summary: backlog_drain_s yields
+    # seconds, so adding a tick count mixes dimensions.
+    return backlog_drain_s(queue_bytes, drain_bytes_per_s) + grace_ticks
+
+
+def mix_compare(timeout_s, budget_ticks):
+    if timeout_s < budget_ticks:  # UNIT002: s vs tick ordering
+        return min(timeout_s, budget_ticks)  # UNIT002: min() mixes too
+    return timeout_s
+
+
+def sleep_until(wakeup_s):
+    return wakeup_s
+
+
+def mix_arg(retry_ticks):
+    return sleep_until(retry_ticks)  # UNIT003: ticks into a *_s param
+
+
+def mix_bind(elapsed_ticks):
+    total_s = elapsed_ticks  # UNIT004: ticks bound to a *_s name
+    return total_s
+
+
+def elapsed_s(tick_index):
+    return tick_index  # UNIT004: a *_s function returning ticks

@@ -1,0 +1,49 @@
+"""Negative UNIT fixture: the shapes of ``unit_bad`` written soundly.
+
+Every conversion goes through ``dt`` (seconds per tick), declarations
+use all three hatches (suffix, ``Annotated`` alias, docstring), and the
+``*_per_s``-style composite suffixes demonstrate the deliberate
+opt-outs. Zero findings expected.
+"""
+
+from repro.units import Seconds, Ticks
+
+
+def backlog_drain_s(queue_bytes, drain_bytes_per_s):
+    """Seconds to drain the backlog."""
+    return queue_bytes / drain_bytes_per_s
+
+
+def add_after_convert(deadline_s, horizon_ticks, dt):
+    # tick * (s/tick) = s, so the sum is dimensionally sound.
+    return deadline_s + horizon_ticks * dt
+
+
+def clamp_after_convert(timeout_s, budget_ticks, dt):
+    budget_s = budget_ticks * dt
+    if timeout_s < budget_s:
+        return min(timeout_s, budget_s)
+    return timeout_s
+
+
+def sleep_until(wakeup_s: Seconds):
+    return wakeup_s
+
+
+def call_after_convert(retry_ticks: Ticks, dt):
+    return sleep_until(retry_ticks * dt)
+
+
+def docstring_hatch(window):
+    """Units can be declared without renaming or annotating.
+
+    :unit window: s
+    :unit return: s
+    """
+    return window + 1.5
+
+
+def opt_outs(events_per_s, decay_per_tick):
+    # ``*_per_s`` / ``*_per_tick`` deliberately declare nothing: their
+    # numerators vary per call site, so the registry stays silent.
+    return events_per_s + decay_per_tick

@@ -1,0 +1,608 @@
+"""The UNIT and FF rule families of ``repro.analysis``.
+
+Covers the abstract-interpretation core (unit lattice, suffix registry,
+annotation/docstring hatches, interprocedural summaries), the fixture
+pairs for every UNIT and FF sub-rule, the full-repo-clean gates both
+families must hold, the JSON/SARIF schema round-trip, the waiver
+ledger, path filtering, and pinned regressions for the two real
+dimension bugs the checker found (bare ``dt`` used as a duration in
+``SimulationConfig.__post_init__`` and ``CAPSysController.run_adaptive``).
+"""
+
+import ast
+import functools
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import default_root, run_analysis
+from repro.analysis.absint import (
+    Unit,
+    parse_unit,
+    suffix_unit,
+    unit_div,
+    unit_mul,
+    unit_pow,
+)
+from repro.analysis.ast_utils import (
+    SourceFile,
+    extract_suppressions,
+    load_package,
+    load_source,
+)
+from repro.analysis.report import Finding, Report
+from repro.analysis.rules_ff import (
+    CoveredAttr,
+    check_ff,
+    classify_functions,
+)
+from repro.analysis.rules_unit import check_unit
+from repro.analysis.waivers import check_waiver_budget, parse_waivers
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def load(name):
+    return load_source(FIXTURES / f"{name}.py", module=name)
+
+
+def source_from_text(module, text, relpath=None):
+    relpath = relpath or f"{module.replace('.', '/')}.py"
+    return SourceFile(
+        path=Path(relpath),
+        relpath=relpath,
+        module=module,
+        text=text,
+        tree=ast.parse(text),
+        suppressions=extract_suppressions(relpath, text),
+    )
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+@functools.lru_cache(maxsize=1)
+def repo_sources():
+    return tuple(load_package(default_root()))
+
+
+# ----------------------------------------------------------------------
+# The unit lattice
+# ----------------------------------------------------------------------
+class TestUnitLattice:
+    def test_parse_simple_and_compound(self):
+        assert parse_unit("s") == Unit((("s", 1),))
+        assert parse_unit("byte/s") == unit_div(
+            parse_unit("byte"), parse_unit("s")
+        )
+        assert parse_unit("1") == Unit(())  # dimensionless
+
+    def test_algebra(self):
+        s_per_tick = parse_unit("s/tick")
+        assert unit_mul(s_per_tick, parse_unit("tick")) == parse_unit("s")
+        assert unit_div(parse_unit("byte"), parse_unit("byte/s")) == (
+            parse_unit("s")
+        )
+        assert unit_pow(parse_unit("s"), 2) == parse_unit("s^2")
+        assert unit_div(parse_unit("s"), parse_unit("s")) == Unit(())
+
+    def test_str_round_trips(self):
+        for spec in ("s", "tick", "byte/s", "s/tick", "record/s", "1"):
+            unit = parse_unit(spec)
+            assert parse_unit(str(unit)) == unit
+
+    def test_suffix_registry(self):
+        assert suffix_unit("timeout_s") == parse_unit("s")
+        assert suffix_unit("budget_ticks") == parse_unit("tick")
+        assert suffix_unit("state_bytes") == parse_unit("byte")
+        assert suffix_unit("rate_hz") == parse_unit("1/s")
+        assert suffix_unit("drain_bytes_per_s") == parse_unit("byte/s")
+        assert suffix_unit("util_frac") == Unit(())
+        # dt is seconds-per-tick by convention: time_s == tick * dt.
+        assert suffix_unit("dt") == parse_unit("s/tick")
+        assert suffix_unit("tick_index") == parse_unit("tick")
+        # Case-insensitive: module constants keep their dimension.
+        assert suffix_unit("_MAX_TICK") == parse_unit("tick")
+        # Composite per-X suffixes deliberately declare nothing.
+        assert suffix_unit("events_per_s") is None
+        assert suffix_unit("decay_per_tick") is None
+        assert suffix_unit("plain_name") is None
+
+
+# ----------------------------------------------------------------------
+# UNIT rules
+# ----------------------------------------------------------------------
+class TestUnitRules:
+    def test_positive_fixture_fires_every_rule(self):
+        findings = check_unit([load("unit_bad")], roots=None)
+        assert rules_of(findings) == {
+            "UNIT001",
+            "UNIT002",
+            "UNIT003",
+            "UNIT004",
+        }
+        by_rule = {}
+        for f in findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        assert len(by_rule["UNIT001"]) == 2  # direct + interprocedural
+        assert len(by_rule["UNIT002"]) == 2  # comparison + min()
+        assert len(by_rule["UNIT004"]) == 2  # bind + return
+        assert any(
+            "mix_interprocedural" in f.message for f in by_rule["UNIT001"]
+        )
+
+    def test_negative_fixture_is_clean(self):
+        assert check_unit([load("unit_clean")], roots=None) == []
+
+    def test_summaries_cross_module_boundaries(self):
+        helper = source_from_text(
+            "helpers",
+            "def cooldown_s(attempts):\n"
+            "    return attempts * 0.5\n",
+        )
+        caller = source_from_text(
+            "caller",
+            "from helpers import cooldown_s\n"
+            "def plan(pause_ticks):\n"
+            "    return cooldown_s(3) + pause_ticks\n",
+        )
+        findings = check_unit([helper, caller], roots=None)
+        assert [f.rule for f in findings] == ["UNIT001"]
+        assert findings[0].path == "caller.py"
+        assert "mixes s with tick" in findings[0].message
+
+    def test_ambiguous_callee_stays_silent(self):
+        # Two same-named functions with conflicting parameter units:
+        # the call cannot be resolved, so UNIT003 must not guess.
+        a = source_from_text(
+            "mod_a", "def wait(delay_s):\n    return delay_s\n"
+        )
+        b = source_from_text(
+            "mod_b", "def wait(delay_ticks):\n    return delay_ticks\n"
+        )
+        use = source_from_text(
+            "mod_c",
+            "def go(n_ticks, wait):\n"
+            "    return wait(n_ticks)\n",
+        )
+        # By-simple-name resolution sees both candidates; their
+        # summaries disagree, so no argument check happens.
+        findings = check_unit([a, b, use], roots=None)
+        assert findings == []
+
+    def test_import_disambiguates_same_named_callees(self):
+        # With an explicit import the call resolves exactly, so the
+        # seconds-flavoured candidate wins and UNIT003 fires.
+        a = source_from_text(
+            "mod_a", "def wait(delay_s):\n    return delay_s\n"
+        )
+        b = source_from_text(
+            "mod_b", "def wait(delay_ticks):\n    return delay_ticks\n"
+        )
+        use = source_from_text(
+            "mod_c",
+            "from mod_a import wait\n"
+            "def go(n_ticks):\n"
+            "    return wait(n_ticks)\n",
+        )
+        findings = check_unit([a, b, use], roots=None)
+        assert [f.rule for f in findings] == ["UNIT003"]
+        assert "'delay_s'" in findings[0].message
+
+    def test_annotated_alias_declares_units(self):
+        src = source_from_text(
+            "mod_ann",
+            "from repro.units import Seconds, Ticks\n"
+            "def f(a: Seconds, b: Ticks):\n"
+            "    return a + b\n",
+        )
+        findings = check_unit([src], roots=None)
+        assert [f.rule for f in findings] == ["UNIT001"]
+
+    def test_docstring_hatch_declares_units(self):
+        src = source_from_text(
+            "mod_doc",
+            "def f(window, depth):\n"
+            '    """Mix.\n'
+            "\n"
+            "    :unit window: s\n"
+            "    :unit depth: tick\n"
+            '    """\n'
+            "    return window + depth\n",
+        )
+        findings = check_unit([src], roots=None)
+        assert [f.rule for f in findings] == ["UNIT001"]
+
+    def test_roots_scope_reported_findings(self):
+        bad = load("unit_bad")
+        # Same source set, but scoped to a root the fixture module is
+        # not reachable from: inference still runs, nothing reported.
+        assert check_unit([bad], roots=("repro.simulator",)) == []
+
+    def test_literals_never_warn(self):
+        src = source_from_text(
+            "mod_lit",
+            "def f(timeout_s):\n"
+            "    return timeout_s + 1e-9\n",
+        )
+        assert check_unit([src], roots=None) == []
+
+
+# ----------------------------------------------------------------------
+# Pinned regressions: the two real findings UNIT surfaced
+# ----------------------------------------------------------------------
+class TestUnitRegressions:
+    """Each fixed dimension bug stays fixed — statically and dynamically.
+
+    Both bugs were the same class: bare ``dt`` (seconds per tick) used
+    as a duration (seconds). The fix routes both sites through
+    ``SimulationConfig.tick_duration_s`` (numerically identical).
+    Re-introducing the old spelling must re-fire UNIT002.
+    """
+
+    def _scan(self, relpath, module, text):
+        return check_unit(
+            [source_from_text(module, text, relpath=relpath)], roots=None
+        )
+
+    def test_engine_buffer_guard_stays_dimensional(self):
+        path = REPO_ROOT / "src" / "repro" / "simulator" / "engine.py"
+        text = path.read_text(encoding="utf-8")
+        fixed = "if self.max_buffer_seconds < self.tick_duration_s:"
+        broken = "if self.max_buffer_seconds < self.dt:"
+        assert fixed in text  # the fix is present
+        assert self._scan(
+            "repro/simulator/engine.py", "repro.simulator.engine", text
+        ) == []
+        findings = self._scan(
+            "repro/simulator/engine.py",
+            "repro.simulator.engine",
+            text.replace(fixed, broken),
+        )
+        assert [f.rule for f in findings] == ["UNIT002"]
+        assert "mixes s with s/tick" in findings[0].message
+
+    def test_capsys_chaos_horizon_stays_dimensional(self):
+        path = REPO_ROOT / "src" / "repro" / "controller" / "capsys.py"
+        text = path.read_text(encoding="utf-8")
+        fixed = "now + cfg.sim.tick_duration_s"
+        broken = "now + cfg.sim.dt"
+        assert fixed in text
+        assert self._scan(
+            "repro/controller/capsys.py", "repro.controller.capsys", text
+        ) == []
+        findings = self._scan(
+            "repro/controller/capsys.py",
+            "repro.controller.capsys",
+            text.replace(fixed, broken),
+        )
+        assert [f.rule for f in findings] == ["UNIT002"]
+        assert "max() mixes s with s/tick" in findings[0].message
+
+    def test_tick_duration_matches_dt_numerically(self):
+        from repro.simulator.engine import SimulationConfig
+
+        config = SimulationConfig(dt=0.25)
+        assert config.tick_duration_s == config.dt == 0.25
+
+    def test_buffer_guard_behavior_unchanged(self):
+        from repro.simulator.engine import SimulationConfig
+
+        with pytest.raises(ValueError):
+            SimulationConfig(dt=2.0, max_buffer_seconds=1.0)
+        SimulationConfig(dt=2.0, max_buffer_seconds=2.0)  # boundary ok
+
+
+# ----------------------------------------------------------------------
+# FF rules
+# ----------------------------------------------------------------------
+FF_BAD_ENTRIES = (("ff_bad", "Engine._advance_to_tick"),)
+FF_BAD_COVERAGE = {
+    ("ff_bad", "Engine"): (
+        CoveredAttr("queue", "fixed-point"),
+        CoveredAttr("time_s", "repeated-add"),
+        CoveredAttr("tick", "repeated-add"),
+    )
+}
+FF_CLEAN_ENTRIES = (("ff_clean", "CleanEngine._advance_to_tick"),)
+FF_CLEAN_COVERAGE = {
+    ("ff_clean", "CleanEngine"): (
+        CoveredAttr("queue", "fixed-point"),
+        CoveredAttr("time_s", "repeated-add"),
+        CoveredAttr("tick", "repeated-add"),
+    )
+}
+
+
+class TestFFRules:
+    def test_positive_fixture_fires_every_rule(self):
+        findings = check_ff(
+            [load("ff_bad")],
+            entries=FF_BAD_ENTRIES,
+            coverage=FF_BAD_COVERAGE,
+            scope=("ff_bad",),
+        )
+        assert rules_of(findings) == {"FF001", "FF002", "FF003", "FF004"}
+        uncovered = [f for f in findings if f.rule == "FF001"]
+        assert len(uncovered) == 1
+        assert "self.wall_s" in uncovered[0].message
+        # Covered writes (queue, time_s, tick) never fire.
+        assert not any("self.queue" in f.message for f in findings)
+
+    def test_negative_fixture_is_clean(self):
+        findings = check_ff(
+            [load("ff_clean")],
+            entries=FF_CLEAN_ENTRIES,
+            coverage=FF_CLEAN_COVERAGE,
+            scope=("ff_clean",),
+        )
+        assert findings == []
+
+    def test_drift_missing_entry_point(self):
+        findings = check_ff(
+            [load("ff_clean")],
+            entries=(("ff_clean", "CleanEngine._gone"),),
+            coverage=FF_CLEAN_COVERAGE,
+            scope=("ff_clean",),
+        )
+        drift = [f for f in findings if f.rule == "FF000"]
+        assert len(drift) == 1
+        assert "CleanEngine._gone" in drift[0].message
+
+    def test_drift_entry_module_absent_is_fine(self):
+        # Partial scans are legitimate: an entry whose module is not in
+        # the source set is dropped, not reported.
+        findings = check_ff(
+            [load("ff_clean")],
+            entries=(("other.module", "Engine.step"),),
+            coverage={},
+            scope=("ff_clean",),
+        )
+        assert [f for f in findings if f.rule == "FF000"] == []
+
+    def test_drift_stale_coverage_class(self):
+        coverage = dict(FF_CLEAN_COVERAGE)
+        coverage[("ff_clean", "GoneEngine")] = (
+            CoveredAttr("queue", "fixed-point"),
+        )
+        findings = check_ff(
+            [load("ff_clean")],
+            entries=FF_CLEAN_ENTRIES,
+            coverage=coverage,
+            scope=("ff_clean",),
+        )
+        drift = [f for f in findings if f.rule == "FF000"]
+        assert len(drift) == 1
+        assert "GoneEngine" in drift[0].message
+
+    def test_drift_stale_coverage_attr(self):
+        coverage = {
+            ("ff_clean", "CleanEngine"): FF_CLEAN_COVERAGE[
+                ("ff_clean", "CleanEngine")
+            ]
+            + (CoveredAttr("never_written", "fixed-point"),)
+        }
+        findings = check_ff(
+            [load("ff_clean")],
+            entries=FF_CLEAN_ENTRIES,
+            coverage=coverage,
+            scope=("ff_clean",),
+        )
+        drift = [f for f in findings if f.rule == "FF000"]
+        assert len(drift) == 1
+        assert "never_written" in drift[0].message
+
+    def test_scope_excludes_foreign_modules(self):
+        # Same sources, but the fixture module out of scope: reachable
+        # functions are not checked for writes or clocks.
+        findings = check_ff(
+            [load("ff_bad")],
+            entries=FF_BAD_ENTRIES,
+            coverage=FF_BAD_COVERAGE,
+            scope=("repro.simulator",),
+        )
+        assert not any(f.rule in ("FF001", "FF004") for f in findings)
+
+    def test_classification(self):
+        classes = classify_functions(
+            [load("ff_bad")], entries=FF_BAD_ENTRIES, scope=("ff_bad",)
+        )
+        assert classes[("ff_bad", "Engine.step")] == "state-writing"
+        assert classes[("ff_bad", "Engine.backlog")] == "pure"
+        assert classes[("ff_bad", "Engine._advance_to_tick")] == "pure"
+
+
+# ----------------------------------------------------------------------
+# Full-repo gates: both families must hold on the tree itself
+# ----------------------------------------------------------------------
+class TestRepoGates:
+    def test_unit_gate_holds_on_the_repo(self):
+        findings = check_unit(repo_sources())
+        assert findings == [], [f"{f.location()}: {f.message}" for f in findings]
+
+    def test_ff_gate_holds_on_the_repo(self):
+        findings = check_ff(repo_sources())
+        assert findings == [], [f"{f.location()}: {f.message}" for f in findings]
+
+    def test_tick_loop_closure_is_classified(self):
+        classes = classify_functions(repo_sources())
+        # The closure is non-trivial and the known mutators are in it.
+        assert (
+            classes[("repro.simulator.engine", "FluidSimulation.step")]
+            == "state-writing"
+        )
+        assert len(classes) > 10
+        assert "pure" in classes.values()
+
+
+# ----------------------------------------------------------------------
+# Report formats: JSON and SARIF schema stability
+# ----------------------------------------------------------------------
+def _sample_report():
+    return Report(
+        findings=[
+            Finding(
+                rule="UNIT001",
+                path="repro/simulator/engine.py",
+                line=10,
+                message="'+' mixes s with tick",
+            ),
+            Finding(
+                rule="FF001",
+                path="repro/simulator/engine.py",
+                line=5,
+                message="uncovered write",
+                suppressed=True,
+                suppression_reason="covered by dynamic property test",
+            ),
+        ],
+        files_scanned=2,
+    )
+
+
+class TestReportFormats:
+    def test_json_schema_round_trip(self):
+        payload = json.loads(_sample_report().to_json())
+        assert set(payload) == {
+            "active",
+            "counts_by_rule",
+            "exit_code",
+            "files_scanned",
+            "suppressed",
+            "suppressed_counts_by_rule",
+        }
+        assert payload["counts_by_rule"] == {"UNIT001": 1}
+        assert payload["suppressed_counts_by_rule"] == {"FF001": 1}
+        assert payload["exit_code"] == 1
+        (active,) = payload["active"]
+        assert set(active) == {
+            "rule",
+            "family",
+            "path",
+            "line",
+            "message",
+            "suppressed",
+            "suppression_reason",
+        }
+        assert active["family"] == "UNIT"
+
+    def test_sarif_schema_round_trip(self):
+        sarif = json.loads(_sample_report().to_sarif())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            "FF001",
+            "UNIT001",
+        ]
+        suppressed, active = run["results"]  # sorted by line
+        assert active["ruleId"] == "UNIT001"
+        assert "suppressions" not in active
+        location = active["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"] == {
+            "uri": "repro/simulator/engine.py",
+            "uriBaseId": "SRCROOT",
+        }
+        assert location["region"] == {"startLine": 10}
+        assert suppressed["suppressions"] == [
+            {
+                "kind": "inSource",
+                "justification": "covered by dynamic property test",
+            }
+        ]
+
+    def test_path_filtering(self):
+        report = Report(
+            findings=[
+                Finding("UNIT001", "repro/simulator/engine.py", 1, "m"),
+                Finding("UNIT001", "repro/simulator_v2.py", 1, "m"),
+                Finding("UNIT001", "repro/workloads/rates.py", 1, "m"),
+            ],
+            files_scanned=3,
+        )
+        view = report.filtered(["repro/simulator"])
+        # Component-wise prefixes: simulator_v2.py must not match.
+        assert [f.path for f in view.active] == [
+            "repro/simulator/engine.py"
+        ]
+        assert view.files_scanned == 3
+        # A leading src/ and an exact file path both work.
+        assert [
+            f.path
+            for f in report.filtered(["src/repro/workloads/rates.py"]).active
+        ] == ["repro/workloads/rates.py"]
+
+
+# ----------------------------------------------------------------------
+# Waiver ledger
+# ----------------------------------------------------------------------
+class TestWaivers:
+    def test_parse_sums_rows_and_ignores_prose(self):
+        text = (
+            "# Ledger\n"
+            "prose | not | a | row\n"
+            "| Rule | Count | Why |\n"
+            "|------|-------|-----|\n"
+            "| RACE001 | 2 | pool initializer |\n"
+            "| RACE001 | 1 | another site |\n"
+            "| FF001 | 1 | dynamic property test covers it |\n"
+        )
+        assert parse_waivers(text) == {"RACE001": 3, "FF001": 1}
+
+    def test_budget_over_and_under_both_fail(self):
+        report = _sample_report()  # carries one FF001 waiver
+        assert check_waiver_budget(report, {"FF001": 1}) == []
+        over = check_waiver_budget(report, {})
+        assert len(over) == 1 and "add a WAIVERS.md entry" in over[0]
+        under = check_waiver_budget(report, {"FF001": 1, "DET001": 2})
+        assert len(under) == 1 and "update the ledger" in under[0]
+
+    def test_ledger_matches_the_tree(self):
+        """WAIVERS.md and the tree's actual waivers must agree."""
+        budgets = parse_waivers(
+            (REPO_ROOT / "WAIVERS.md").read_text(encoding="utf-8")
+        )
+        report = run_analysis()
+        assert check_waiver_budget(report, budgets) == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def _run(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+
+    def test_sarif_with_waivers_and_paths(self):
+        proc = self._run(
+            "--format",
+            "sarif",
+            "--waivers",
+            "WAIVERS.md",
+            "--paths",
+            "repro/simulator",
+            "repro/workloads",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        sarif = json.loads(proc.stdout)
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["results"] == []
+
+    def test_unknown_rule_family_is_a_usage_error(self):
+        proc = self._run("--rules", "NOPE")
+        assert proc.returncode == 2
