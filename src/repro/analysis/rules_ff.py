@@ -87,6 +87,7 @@ DEFAULT_FF_SCOPE: Tuple[str, ...] = (
     "repro.workloads",
     "repro.dataflow",
     "repro.observability",
+    "repro.diagnosis",
 )
 
 #: Rate-pattern protocol: base class and the two methods whose
@@ -149,6 +150,33 @@ DEFAULT_FF_COVERAGE: Mapping[Tuple[str, str], Tuple[CoveredAttr, ...]] = {
         ("_ff_prev_proc", "ff-bookkeeping"),
         ("leaps", "ff-bookkeeping"),
         ("ticks_leapt", "ff-bookkeeping"),
+        ("diagnosis", "repeated-add"),
+    ),
+    ("repro.diagnosis.collector", "DiagnosisCollector"): _cov(
+        ("attribution", "repeated-add"),
+        ("provenance", "repeated-add"),
+        ("_flushed", "sink"),
+        ("_sig", "event-horizon"),
+        ("_sig_dt", "event-horizon"),
+    ),
+    ("repro.diagnosis.attribution", "ContentionAttributor"): _cov(
+        ("blame_s", "repeated-add"),
+        ("deficit_s", "repeated-add"),
+        ("ticks_observed", "repeated-add"),
+        ("_sig", "event-horizon"),
+        ("_inc_blame", "event-horizon"),
+        ("_inc_rows", "event-horizon"),
+        ("_inc_deficit", "event-horizon"),
+    ),
+    ("repro.diagnosis.provenance", "BottleneckTracker"): _cov(
+        ("bp_s", "repeated-add"),
+        ("ticks_observed", "repeated-add"),
+        ("spans", "event-horizon"),
+        ("_current", "event-horizon"),
+        ("_since_s", "event-horizon"),
+        ("_sig", "event-horizon"),
+        ("_inc_items", "event-horizon"),
+        ("_dominant", "event-horizon"),
     ),
     ("repro.simulator.metrics", "MetricsCollector"): _cov(
         ("_series", "replicated"),

@@ -55,6 +55,7 @@ DEFAULT_UNIT_ROOTS = (
     "repro.faults",
     "repro.scaling",
     "repro.placement",
+    "repro.diagnosis",
 )
 
 _KIND_RULES = {

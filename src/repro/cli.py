@@ -83,6 +83,7 @@ def _controller_config(args: argparse.Namespace) -> ControllerConfig:
         search_backend=args.search_backend,
         search_jobs=args.jobs,
         checkpoint=checkpoint,
+        diagnose=getattr(args, "diagnose", False),
         sim=SimulationConfig(fast_forward=getattr(args, "fast_forward", False)),
     )
 
@@ -101,6 +102,14 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
 def _chaos_schedule(args: argparse.Namespace) -> Optional[ChaosSchedule]:
     spec = getattr(args, "chaos", None)
     return ChaosSchedule.parse(spec) if spec else None
+
+
+def _add_diagnose_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--diagnose", action="store_true",
+        help="attach the root-cause diagnosis layer (contention "
+             "attribution + backpressure provenance) and print the "
+             "ranked report; see DESIGN.md §10")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -122,9 +131,12 @@ def _observability(
 
     The run id is derived from the command and query — never from a
     clock or uuid — so two identically-parameterised runs produce
-    byte-identical sim-domain trace streams.
+    byte-identical sim-domain trace streams. ``--diagnose`` needs a
+    tracer even without ``--trace``: the diagnosis aggregates flush
+    into trace records, which the report is then built from.
     """
-    tracer = Tracer(run_id=run_id) if args.trace else None
+    want_tracer = args.trace or getattr(args, "diagnose", False)
+    tracer = Tracer(run_id=run_id) if want_tracer else None
     registry = MetricRegistry() if args.metrics_out else None
     return tracer, registry
 
@@ -134,7 +146,7 @@ def _write_observability(
     tracer: Optional[Tracer],
     registry: Optional[MetricRegistry],
 ) -> None:
-    if tracer is not None:
+    if tracer is not None and args.trace:
         if args.trace_format == "chrome":
             tracer.write_chrome(args.trace)
         else:
@@ -146,6 +158,16 @@ def _write_observability(
         else:
             registry.write_json(args.metrics_out)
         print(f"metrics: {args.metrics_out}")
+
+
+def _print_diagnosis(engine, tracer: Tracer) -> None:
+    """Flush a still-attached engine (if any) and print the report."""
+    from repro.diagnosis.report import build_report, format_report
+
+    if engine is not None and engine.diagnosis is not None:
+        engine.diagnosis.flush(tracer)
+    print()
+    print(format_report(build_report(tracer.records)))
 
 
 def cmd_queries(_args: argparse.Namespace) -> int:
@@ -202,6 +224,8 @@ def cmd_place(args: argparse.Namespace) -> int:
         f"backpressure {format_percent(summary.backpressure)}, "
         f"latency {summary.latency_s:.2f} s"
     )
+    if args.diagnose:
+        _print_diagnosis(deployment.engine, tracer)
     _write_observability(args, tracer, registry)
     return 0 if summary.meets_target() else 1
 
@@ -300,6 +324,10 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         )
     ]
     print(format_table(["t (s)", "target", "throughput", "tasks"], rows))
+    if args.diagnose:
+        # run_adaptive already flushed every retiring engine's
+        # aggregates into the tracer.
+        _print_diagnosis(None, tracer)
     _write_observability(args, tracer, registry)
     return 0
 
@@ -352,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_search_args(p)
     _add_obs_args(p)
     _add_ff_arg(p)
+    _add_diagnose_arg(p)
     p.set_defaults(fn=cmd_place)
 
     p = sub.add_parser("compare", help="CAPS vs Flink baselines")
@@ -375,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chaos_args(p)
     _add_obs_args(p)
     _add_ff_arg(p)
+    _add_diagnose_arg(p)
     p.set_defaults(fn=cmd_autoscale)
 
     p = sub.add_parser("explore", help="enumerate the placement space")

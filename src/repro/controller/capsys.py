@@ -33,7 +33,8 @@ from repro.faults import (
     observe_fault,
     recovery_downtime,
 )
-from repro.observability import MetricRegistry, Tracer
+from repro.diagnosis.explain import Explanation
+from repro.observability import MetricRegistry, Tracer, clock
 from repro.placement.base import PlacementStrategy
 from repro.placement.caps import CapsStrategy
 from repro.scaling.ds2 import DS2Controller, ScalingDecision
@@ -79,6 +80,12 @@ class ControllerConfig:
     #: recovery pays a state-restore downtime instead of the flat
     #: ``rescale_downtime_s``.
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    #: Attach the root-cause diagnosis layer (contention attribution +
+    #: backpressure provenance) to every deployed engine. Aggregates
+    #: are flushed into the trace when each engine retires; overhead is
+    #: a few percent of engine runtime (see BENCH_perf.json,
+    #: ``diagnosis_overhead``).
+    diagnose: bool = False
     seed: int = 0
     sim: SimulationConfig = field(default_factory=SimulationConfig)
 
@@ -239,6 +246,10 @@ class CAPSysController:
         #: Fallback stage of the most recent placement (see
         #: :meth:`place`); ``None`` when the search produced the plan.
         self.last_placement_fallback: Optional[str] = None
+        #: Structured explanation of the most recent placement decision
+        #: (see :mod:`repro.diagnosis.explain`); ``None`` for baseline
+        #: strategies that do not produce one.
+        self.last_explanation: Optional[Explanation] = None
         self.ds2 = DS2Controller(
             graph,
             max_parallelism=cluster.total_slots,
@@ -347,6 +358,7 @@ class CAPSysController:
             physical, self.cluster if cluster is None else cluster
         )
         self.last_placement_fallback = getattr(strategy, "last_fallback", None)
+        self.last_explanation = getattr(strategy, "last_explanation", None)
         return plan
 
     def deploy(
@@ -355,8 +367,13 @@ class CAPSysController:
         parallelism: Optional[Mapping[str, int]] = None,
         started_at_s: float = 0.0,
         health: Optional[ClusterHealth] = None,
+        trigger: str = "initial",
     ) -> Deployment:
         """Steps 3-6: scale, place, and start an engine.
+
+        ``trigger`` labels why this deployment happened (``"initial"``,
+        ``"ds2"``, or a fault reason) in the persisted placement
+        explanation.
 
         When a :class:`~repro.faults.ClusterHealth` is given, placement
         searches only the surviving workers — with degradations baked
@@ -395,6 +412,8 @@ class CAPSysController:
             engine.apply_worker_factors(*health.factor_arrays(engine_cluster))
         if self.config.checkpoint.enabled:
             engine.enable_checkpoints(self.config.checkpoint, registry=self.registry)
+        if self.config.diagnose:
+            engine.enable_diagnosis()
         deployment = Deployment(
             graph=scaled,
             physical=physical,
@@ -437,6 +456,19 @@ class CAPSysController:
                     labels={"stage": self.last_placement_fallback},
                     help="Deployments placed via a fallback stage.",
                 ).inc()
+        if self.last_explanation is not None:
+            # Wall domain: the margins derive from wall-tuned
+            # thresholds, which the sim stream's byte-identity
+            # contract must not depend on.
+            self.last_explanation = self.last_explanation.with_trigger(trigger)
+            if tr is not None and tr.enabled:
+                tr.event(
+                    "wall",
+                    "diagnosis.explanation",
+                    clock.monotonic(),
+                    cat="diagnosis",
+                    args=self.last_explanation.to_args(),
+                )
         return deployment
 
     # ------------------------------------------------------------------
@@ -589,6 +621,7 @@ class CAPSysController:
             cooldown = next_cooldown(cfg, cooldown, elapsed)
             last_rescale = now
             pending_replan = None
+        self._flush_diagnosis(deployment)
         return result
 
     def _enact_rescale(
@@ -640,13 +673,21 @@ class CAPSysController:
                 now,
                 cat="controller",
             )
+        self._flush_diagnosis(deployment)
         deployment = self.deploy(
             {op: TimeShiftedRate(patterns[op], now) for op in patterns},
             parallelism=fitted,
             started_at_s=now,
             health=health,
+            trigger=reason,
         )
         return deployment, now
+
+    def _flush_diagnosis(self, deployment: Deployment) -> None:
+        """Flush a retiring engine's diagnosis aggregates into the trace."""
+        diag = getattr(deployment.engine, "diagnosis", None)
+        if diag is not None:
+            diag.flush(self.tracer)
 
     def _observe_suppressed(self, now: float, reason: str) -> None:
         """A wanted replan deferred by the activation/cooldown gate."""

@@ -1,0 +1,41 @@
+"""Root-cause diagnosis: who stole what from whom, and why we replanned.
+
+CAPSys's premise is that *contention* — not raw load — is what degrades
+co-located streaming tasks, yet throughput/backpressure metrics only
+report the symptom. This package turns the simulator's per-tick
+contention and backpressure state into causal answers:
+
+- :mod:`repro.diagnosis.attribution` — per-(task, resource) deficit
+  decomposition into blame shares over co-located contenders plus
+  concurrency-penalty overhead, with an exact conservation invariant.
+- :mod:`repro.diagnosis.provenance` — per-tick walks from each
+  backpressured source along the most-congested downstream channels to
+  the (task, worker, resource) bottleneck that originated the stall.
+- :mod:`repro.diagnosis.collector` — the engine-facing facade gluing
+  both together, leap-safe under fast-forward (DESIGN.md section 9).
+- :mod:`repro.diagnosis.explain` — structured explanations of
+  placement decisions (why this plan, why a fallback).
+- :mod:`repro.diagnosis.report` — the ranked root-cause report built
+  from persisted trace streams (``repro.observability diagnose``).
+"""
+
+from repro.diagnosis.attribution import (
+    ContentionAttributor,
+    decompose_deficit,
+    exact_sum,
+)
+from repro.diagnosis.collector import DiagnosisCollector
+from repro.diagnosis.explain import Explanation
+from repro.diagnosis.provenance import BottleneckTracker
+from repro.diagnosis.report import build_report, format_report
+
+__all__ = [
+    "BottleneckTracker",
+    "ContentionAttributor",
+    "DiagnosisCollector",
+    "Explanation",
+    "build_report",
+    "decompose_deficit",
+    "exact_sum",
+    "format_report",
+]

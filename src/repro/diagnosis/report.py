@@ -1,0 +1,211 @@
+"""Ranked root-cause reports from diagnosis trace records.
+
+The analysis half of ``python -m repro.observability diagnose``: given
+the flat records of a traced run (any mix of clock domains),
+:func:`build_report` aggregates the ``diagnosis.provenance``,
+``contention.blame``, ``diagnosis.bottleneck`` and
+``diagnosis.explanation`` records into one JSON-ready report whose
+headline is a ranking of bottleneck origins — ``(worker, resource)``
+pairs ordered by the backpressure-seconds they caused. All orderings
+are deterministic (seconds descending, then label), so two identical
+traces always produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+#: Explanation args rendered in the text report, fixed order.
+_EXPLAIN_FIELDS = (
+    "trigger",
+    "chosen",
+    "fallback_stage",
+    "runner_up",
+    "weighted_cost",
+    "runner_up_cost",
+    "plans_explored",
+    "reason",
+)
+
+
+def build_report(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate diagnosis records into a ranked root-cause report.
+
+    Args:
+        records: Trace records as read by
+            :func:`repro.observability.tracefile.read_jsonl` (or taken
+            straight from ``Tracer.records``). Non-diagnosis records
+            are ignored.
+
+    Returns:
+        A JSON-encodable mapping with ``root_causes`` (ranked
+        ``worker``/``resource`` origins with backpressure-seconds and
+        share), ``jobs`` (per-job origin breakdowns), ``contention``
+        (per-victim blame rows ranked by deficit), ``timeline``
+        (dominant-bottleneck spans) and ``explanations`` (placement
+        decisions in deployment order).
+    """
+    origin_s: Dict[Tuple[int, str], float] = {}
+    origin_tasks: Dict[Tuple[int, str], Dict[str, float]] = {}
+    jobs: Dict[str, Dict[str, Any]] = {}
+    contention: List[Dict[str, Any]] = []
+    timeline: List[Dict[str, Any]] = []
+    explanations: List[Dict[str, Any]] = []
+
+    for record in records:
+        name = record.get("name", "")
+        args = record.get("args", {})
+        if name == "diagnosis.provenance":
+            worker = int(args["worker"])
+            resource = str(args["resource"])
+            seconds = float(args["bp_seconds"])
+            key = (worker, resource)
+            origin_s[key] = origin_s.get(key, 0.0) + seconds
+            tasks = origin_tasks.setdefault(key, {})
+            task = str(args["task"])
+            tasks[task] = tasks.get(task, 0.0) + seconds
+            job = jobs.setdefault(
+                str(args["job"]), {"bp_seconds": 0.0, "origins": []}
+            )
+            job["bp_seconds"] += seconds
+            job["origins"].append(
+                {
+                    "task": task,
+                    "worker": worker,
+                    "resource": resource,
+                    "bp_seconds": seconds,
+                    "share": float(args.get("share", 0.0)),
+                }
+            )
+        elif name == "contention.blame":
+            contention.append(
+                {
+                    "task": str(args["task"]),
+                    "worker": int(args["worker"]),
+                    "resource": str(args["resource"]),
+                    "deficit_s": float(args["deficit_s"]),
+                    "blamed": [
+                        [str(entity), float(seconds)]
+                        for entity, seconds in args.get("blamed", [])
+                    ],
+                }
+            )
+        elif name == "diagnosis.bottleneck":
+            start = float(record.get("t", 0.0))
+            timeline.append(
+                {
+                    "job": str(args["job"]),
+                    "task": str(args["task"]),
+                    "worker": int(args["worker"]),
+                    "resource": str(args["resource"]),
+                    "start_s": start,
+                    "end_s": start + float(record.get("dur", 0.0)),
+                }
+            )
+        elif name == "diagnosis.explanation":
+            explanations.append(dict(args))
+
+    total_s = sum(origin_s[key] for key in sorted(origin_s))
+    root_causes: List[Dict[str, Any]] = []
+    ranked = sorted(
+        origin_s.items(), key=lambda item: (-item[1], item[0][1], item[0][0])
+    )
+    for rank, ((worker, resource), seconds) in enumerate(ranked, start=1):
+        tasks = origin_tasks[(worker, resource)]
+        root_causes.append(
+            {
+                "rank": rank,
+                "label": f"{resource}:w{worker}",
+                "worker": worker,
+                "resource": resource,
+                "bp_seconds": seconds,
+                "share": seconds / total_s if total_s > 0 else 0.0,
+                "tasks": [
+                    {"task": task, "bp_seconds": tasks[task]}
+                    for task in sorted(
+                        tasks, key=lambda t: (-tasks[t], t)
+                    )
+                ],
+            }
+        )
+
+    for job in jobs.values():
+        job["origins"].sort(
+            key=lambda o: (-o["bp_seconds"], o["resource"], o["task"])
+        )
+    contention.sort(
+        key=lambda row: (-row["deficit_s"], row["resource"], row["task"])
+    )
+    timeline.sort(key=lambda span: (span["start_s"], span["job"]))
+
+    return {
+        "total_bp_seconds": total_s,
+        "root_causes": root_causes,
+        "jobs": {job: jobs[job] for job in sorted(jobs)},
+        "contention": contention,
+        "timeline": timeline,
+        "explanations": explanations,
+    }
+
+
+def format_report(report: Mapping[str, Any], limit: int = 10) -> str:
+    """Human-readable rendering of :func:`build_report` output."""
+    lines: List[str] = ["Root-cause diagnosis", "===================="]
+    root_causes = report["root_causes"]
+    if not root_causes:
+        lines.append("no backpressure attributed — nothing to diagnose")
+    else:
+        lines.append(
+            f"backpressure attributed: "
+            f"{report['total_bp_seconds']:.3f} s across "
+            f"{len(root_causes)} origin(s)"
+        )
+        lines.append("")
+        lines.append(f"{'rank':<5} {'origin':<16} {'bp (s)':>10} {'share':>7}")
+        for cause in root_causes[:limit]:
+            lines.append(
+                f"{cause['rank']:<5} {cause['label']:<16} "
+                f"{cause['bp_seconds']:>10.3f} {cause['share']:>6.1%}"
+            )
+            for entry in cause["tasks"][:3]:
+                lines.append(
+                    f"      └ {entry['task']}: {entry['bp_seconds']:.3f} s"
+                )
+    contention = report["contention"]
+    if contention:
+        lines.append("")
+        lines.append("Contention blame (top victims)")
+        lines.append(f"{'task':<20} {'resource':<8} {'deficit (s)':>12}  blamed")
+        for row in contention[:limit]:
+            blamed = ", ".join(
+                f"{entity}={seconds:.3f}s" for entity, seconds in row["blamed"][:3]
+            )
+            lines.append(
+                f"{row['task']:<20} {row['resource']:<8} "
+                f"{row['deficit_s']:>12.3f}  {blamed}"
+            )
+    timeline = report["timeline"]
+    if timeline:
+        lines.append("")
+        lines.append("Bottleneck timeline")
+        for span in timeline[:limit]:
+            lines.append(
+                f"[{span['start_s']:>9.1f}, {span['end_s']:>9.1f}] s "
+                f"{span['job']}: {span['resource']}:w{span['worker']} "
+                f"({span['task']})"
+            )
+    explanations = report["explanations"]
+    if explanations:
+        lines.append("")
+        lines.append("Placement decisions")
+        for expl in explanations:
+            parts = []
+            for field in _EXPLAIN_FIELDS:
+                value = expl.get(field)
+                if value not in (None, ""):
+                    parts.append(f"{field}={value}")
+            lines.append("  " + " ".join(parts))
+    return "\n".join(lines)
+
+
+__all__ = ["build_report", "format_report"]

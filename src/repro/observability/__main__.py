@@ -7,11 +7,19 @@ Subcommands:
 - ``diff A B``               — compare two traces (byte-level, after
                                optional filtering); exit 1 on divergence;
 - ``chrome TRACE -o OUT``    — convert JSONL to Chrome ``trace_event``
-                               JSON for about://tracing / Perfetto.
+                               JSON for about://tracing / Perfetto;
+- ``top TRACE --by dur``     — rank record names by total span duration
+                               or record count;
+- ``diagnose TRACE``         — ranked root-cause report from the
+                               diagnosis records (contention blame,
+                               backpressure provenance, placement
+                               explanations).
 
-The ``--clock sim`` filter on ``diff`` is the determinism check used in
-CI: two identically-seeded adaptive runs must produce byte-identical
-simulated-time streams.
+All subcommands read gzip-compressed traces transparently when the
+path ends in ``.gz``. The ``--clock sim`` filter on ``diff`` is the
+determinism check used in CI: two identically-seeded adaptive runs
+must produce byte-identical simulated-time streams, and ``diagnose
+--format json`` output is itself byte-identical across such runs.
 """
 
 from __future__ import annotations
@@ -90,6 +98,33 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    summary = summarize(_filtered(args.trace, args))
+    key = "total_dur" if args.by == "dur" else "count"
+    rows = sorted(
+        summary["names"],
+        key=lambda row: (-row[key], row["clock"], row["ph"], row["name"]),
+    )[: args.limit]
+    print(f"{'clock':<6} {'ph':<3} {'count':>7} {'total dur (s)':>14}  name")
+    for row in rows:
+        print(
+            f"{row['clock']:<6} {row['ph']:<3} {row['count']:>7} "
+            f"{row['total_dur']:>14.6f}  {row['name']}"
+        )
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.diagnosis.report import build_report, format_report
+
+    report = build_report(_filtered(args.trace, args))
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report, limit=args.limit))
+    return 0
+
+
 def cmd_chrome(args: argparse.Namespace) -> int:
     records = _filtered(args.trace, args)
     trace = chrome_trace(records)
@@ -130,6 +165,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     _add_filter_args(p)
     p.set_defaults(fn=cmd_chrome)
+
+    p = sub.add_parser("top", help="rank record names by duration or count")
+    p.add_argument("trace")
+    p.add_argument("--by", choices=("dur", "count"), default="dur")
+    p.add_argument("--limit", type=int, default=20)
+    _add_filter_args(p)
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("diagnose", help="ranked root-cause report")
+    p.add_argument("trace")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--limit", type=int, default=10,
+                   help="rows per text-report section")
+    _add_filter_args(p)
+    p.set_defaults(fn=cmd_diagnose)
     return parser
 
 

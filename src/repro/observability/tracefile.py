@@ -8,6 +8,7 @@ call them directly on in-memory traces.
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -15,9 +16,11 @@ from repro.observability.tracer import encode_record
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Load a JSONL trace file; blank lines are ignored."""
+    """Load a JSONL trace file (gzip-compressed if the path ends in
+    ``.gz``); blank lines are ignored."""
     records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as fh:
+    opener = gzip.open if path.endswith(".gz") else open
+    with opener(path, "rt", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

@@ -32,6 +32,7 @@ unguarded call is still cheap, just not free.
 
 from __future__ import annotations
 
+import gzip
 import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
@@ -218,6 +219,17 @@ class Tracer:
         return "".join(line + "\n" for line in lines)
 
     def write_jsonl(self, path: str, clock: Optional[str] = None) -> None:
+        # gzip with mtime=0 and no embedded filename so identical
+        # streams give identical bytes on disk — the byte-identity
+        # contract survives compression.
+        if path.endswith(".gz"):
+            payload = self.to_jsonl(clock).encode("utf-8")
+            with open(path, "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", fileobj=raw, mode="wb", mtime=0
+                ) as fh:
+                    fh.write(payload)
+            return
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_jsonl(clock))
 

@@ -20,6 +20,7 @@ from repro.core.cost_model import CostModel, CostVector, TaskCosts
 from repro.core.parallel_proc import SEARCH_BACKENDS, run_search
 from repro.core.plan import PlacementPlan
 from repro.core.search import CapsSearch, SearchLimits
+from repro.diagnosis.explain import Explanation, explain_placement
 from repro.observability import MetricRegistry, NULL_TRACER, Tracer, clock
 from repro.placement.base import PlacementStrategy
 from repro.placement.flink_evenly import FlinkEvenlyStrategy
@@ -109,6 +110,10 @@ class CapsStrategy(PlacementStrategy):
         #: best-so-far), or ``"evenly"`` (even greedy failed; the plan
         #: is a deterministic flink_evenly spread).
         self.last_fallback: Optional[str] = None
+        #: Structured :class:`~repro.diagnosis.explain.Explanation` of
+        #: the most recent placement decision (trigger is filled in by
+        #: the controller, which knows why it asked for a plan).
+        self.last_explanation: Optional[Explanation] = None
 
     def _task_costs(self, physical: PhysicalGraph) -> TaskCosts:
         rates = {
@@ -126,6 +131,7 @@ class CapsStrategy(PlacementStrategy):
 
     def place(self, physical: PhysicalGraph, cluster: Cluster) -> PlacementPlan:
         self.last_fallback = None
+        self.last_explanation = None
         costs = self._task_costs(physical)
         cost_model = CostModel(physical, cluster, costs)
         self.last_cost_model = cost_model
@@ -219,7 +225,31 @@ class CapsStrategy(PlacementStrategy):
             if greedy_plan is None or result.best_cost.weighted_total(
                 weights
             ) < greedy_cost.weighted_total(weights):
+                self.last_explanation = explain_placement(
+                    "search",
+                    weights,
+                    cost=result.best_cost,
+                    runner_up="greedy" if greedy_plan is not None else None,
+                    runner_up_cost=greedy_cost,
+                    thresholds=self.last_thresholds,
+                    plans_explored=stats.plans_found,
+                    reason=(
+                        "pareto search beat the greedy warm start"
+                        if greedy_plan is not None
+                        else "pareto search found the only feasible plan"
+                    ),
+                )
                 return result.best_plan
+            self.last_explanation = explain_placement(
+                "greedy",
+                weights,
+                cost=greedy_cost,
+                runner_up="search",
+                runner_up_cost=result.best_cost,
+                thresholds=self.last_thresholds,
+                plans_explored=stats.plans_found,
+                reason="greedy warm start was no worse than the best search plan",
+            )
             return greedy_plan
         # Fallback chain: the search found zero satisfying plans (timed
         # out, or the thresholds are infeasible on this — possibly
@@ -229,9 +259,32 @@ class CapsStrategy(PlacementStrategy):
         # deployable plan.
         if greedy_plan is not None:
             self._observe_fallback("greedy", tr)
+            self.last_explanation = explain_placement(
+                "greedy",
+                weights,
+                cost=greedy_cost,
+                thresholds=self.last_thresholds,
+                plans_explored=stats.plans_found,
+                fallback_stage="greedy",
+                reason="search found no satisfying plan within budget",
+            )
             return greedy_plan
         self._observe_fallback("evenly", tr)
-        return FlinkEvenlyStrategy(seed=0).place(physical, cluster)
+        plan = FlinkEvenlyStrategy(seed=0).place(physical, cluster)
+        try:
+            evenly_cost: Optional[CostVector] = cost_model.cost(plan)
+        except Exception:
+            evenly_cost = None
+        self.last_explanation = explain_placement(
+            "evenly",
+            weights,
+            cost=evenly_cost,
+            thresholds=self.last_thresholds,
+            plans_explored=stats.plans_found,
+            fallback_stage="evenly",
+            reason="neither search nor greedy produced a feasible plan",
+        )
+        return plan
 
     def _observe_fallback(self, stage: str, tr: Tracer) -> None:
         self.last_fallback = stage

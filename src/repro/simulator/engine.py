@@ -217,6 +217,11 @@ class FluidSimulation:
         #: post-construction via :meth:`set_fault_driver` — fault state
         #: is run-scoped, never part of the cacheable simulation input).
         self.fault_driver = None
+        #: Optional root-cause diagnosis collector (set post-construction
+        #: via :meth:`enable_diagnosis` — an observability sink, never a
+        #: simulation input, so it is excluded from the plan-cache
+        #: fingerprint like the tracer).
+        self.diagnosis = None
         self._checkpoint: Optional[CheckpointConfig] = None
         self._ckpt_dirty: Optional[np.ndarray] = None
         self._ckpt_upload: Optional[np.ndarray] = None
@@ -484,6 +489,21 @@ class FluidSimulation:
                 "checkpoints_total", help="Checkpoints triggered."
             )
 
+    def enable_diagnosis(self):
+        """Attach a root-cause :class:`DiagnosisCollector` to this engine.
+
+        The collector observes every executed tick (contention blame,
+        backpressure provenance) and extends analytically across
+        fast-forward leaps; the owner must call
+        ``engine.diagnosis.flush(tracer)`` once when the engine
+        retires. Returns the collector.
+        """
+        from repro.diagnosis.collector import DiagnosisCollector
+
+        self.diagnosis = DiagnosisCollector(self)
+        self._ff_reset()
+        return self.diagnosis
+
     def durable_state_bytes(self) -> np.ndarray:
         """Per-worker state covered by the last completed checkpoint.
 
@@ -700,6 +720,22 @@ class FluidSimulation:
             dt,
             tick_end_s,
         )
+        if self.diagnosis is not None:
+            self.diagnosis.observe_tick(
+                want,
+                target,
+                cpu_demand,
+                cpu_scale,
+                cpu_effective,
+                io_demand,
+                io_scale,
+                ckpt_io,
+                net_scale,
+                throttles,
+                proc_final,
+                dt,
+                self.time_s,
+            )
         self._tick_index += 1
         self.time_s = self._tick_index * dt
         if self._ff_enabled:
@@ -957,6 +993,10 @@ class FluidSimulation:
             if np.any(dirty_inc):
                 for _ in range(ticks):
                     self._ckpt_dirty += dirty_inc
+        if self.diagnosis is not None:
+            # The diagnosis accumulators replay their cached per-tick
+            # increment, mirroring the repeated-add contract above.
+            self.diagnosis.extend(ticks)
         self._tick_index = start + ticks
         self.time_s = self._tick_index * dt
         self.leaps += 1
