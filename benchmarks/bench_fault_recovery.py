@@ -16,7 +16,7 @@ recovers with measurably less accumulated backpressure.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _helpers import run_once, write_bench_json
+from _helpers import merge_bench_json, run_once
 
 from repro.dataflow.cluster import Cluster, R5D_XLARGE
 from repro.controller.capsys import ControllerConfig
@@ -113,7 +113,8 @@ def test_fault_recovery_caps_vs_evenly(benchmark):
             ),
         )
     )
-    write_bench_json("fault_recovery", payload)
+    # Merged as a section: bench_control_resilience.py shares this file.
+    merge_bench_json("fault_recovery", "fault_recovery", payload)
 
     caps_rec, caps_bp = _recovery_stats(results["CAPSys"])
     evenly_rec, evenly_bp = _recovery_stats(results["Evenly"])

@@ -26,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.controller.capsys import CAPSysController, ControllerConfig
+from repro.controller.guards import GuardConfig
 from repro.core import SEARCH_BACKENDS
 from repro.dataflow.cluster import Cluster, M5D_2XLARGE, R5D_XLARGE
 from repro.dataflow.physical import PhysicalGraph
@@ -33,7 +34,7 @@ from repro.experiments import enumerate_all_plans
 from repro.experiments.figures import convergence_timeline_rows
 from repro.experiments.reporting import box_stats, format_percent, format_table
 from repro.experiments.runner import simulate_plan, strategy_box_runs
-from repro.faults import ChaosSchedule, CheckpointConfig
+from repro.faults import ChaosSchedule, CheckpointConfig, ControlChaosSchedule
 from repro.observability import MetricRegistry, Tracer
 from repro.placement import CapsStrategy, FlinkDefaultStrategy, FlinkEvenlyStrategy
 from repro.simulator.engine import SimulationConfig
@@ -84,6 +85,7 @@ def _controller_config(args: argparse.Namespace) -> ControllerConfig:
         search_jobs=args.jobs,
         checkpoint=checkpoint,
         diagnose=getattr(args, "diagnose", False),
+        guards=GuardConfig(enabled=not getattr(args, "unguarded", False)),
         sim=SimulationConfig(fast_forward=getattr(args, "fast_forward", False)),
     )
 
@@ -94,6 +96,16 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
         help="deterministic fault schedule, e.g. "
              "'crash:w3@120,recover:w3@300,disk:w1@60x0.4'")
     parser.add_argument(
+        "--control-chaos", metavar="SPEC", default=None,
+        help="deterministic control-plane fault schedule (degraded "
+             "telemetry / failing deploys), e.g. "
+             "'metric_corrupt:opwork@300for60,deploy_fail:@600x2'; "
+             "see DESIGN.md §11")
+    parser.add_argument(
+        "--unguarded", action="store_true",
+        help="disable the control-plane guard pipeline (ablation: the "
+             "controller trusts whatever --control-chaos feeds it)")
+    parser.add_argument(
         "--checkpoint-interval", type=float, default=None, metavar="S",
         help="enable the checkpoint/restore model with this interval; "
              "crash recovery then pays restore + replay downtime")
@@ -102,6 +114,13 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
 def _chaos_schedule(args: argparse.Namespace) -> Optional[ChaosSchedule]:
     spec = getattr(args, "chaos", None)
     return ChaosSchedule.parse(spec) if spec else None
+
+
+def _control_chaos_schedule(
+    args: argparse.Namespace,
+) -> Optional[ControlChaosSchedule]:
+    spec = getattr(args, "control_chaos", None)
+    return ControlChaosSchedule.parse(spec) if spec else None
 
 
 def _add_diagnose_arg(parser: argparse.ArgumentParser) -> None:
@@ -302,11 +321,13 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
         registry=registry,
     )
     chaos = _chaos_schedule(args)
+    control_chaos = _control_chaos_schedule(args)
     result = controller.run_adaptive(
         {op: pattern for op in graph.sources()},
         duration_s=args.duration,
         initial_parallelism={op: 1 for op in graph.operators},
         chaos=chaos,
+        control_chaos=control_chaos,
     )
     print(f"{result.rescale_count()} scaling decisions")
     if chaos:
@@ -317,6 +338,24 @@ def cmd_autoscale(args: argparse.Namespace) -> int:
             f"chaos: {len(chaos)} fault events injected, "
             f"{fault_rescales} fault-triggered rescales"
         )
+    if control_chaos:
+        guard = controller.last_guard
+        if guard is None:
+            print(
+                f"control-chaos: {len(control_chaos)} events scheduled, "
+                f"guards disabled"
+            )
+        else:
+            rounds = ", ".join(
+                f"{outcome}={guard.rounds[outcome]}"
+                for outcome in sorted(guard.rounds)
+            )
+            print(
+                f"control-chaos: {len(control_chaos)} events scheduled; "
+                f"guard rejections {guard.total_rejections}, "
+                f"safe-mode entries {guard.safe_mode_entries}; "
+                f"rounds: {rounds}"
+            )
     rows = [
         [int(t), round(target), round(thpt), tasks]
         for t, target, thpt, tasks in convergence_timeline_rows(

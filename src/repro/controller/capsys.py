@@ -14,10 +14,13 @@ strategies under an otherwise identical control loop.
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.dataflow.cluster import Cluster
 from repro.dataflow.graph import LogicalGraph
@@ -25,11 +28,14 @@ from repro.dataflow.physical import PhysicalGraph
 from repro.core.cost_model import CostModel, TaskCosts, UnitCosts
 from repro.core.plan import PlacementPlan
 from repro.controller.events import AdaptiveRunResult, RescaleEvent, TimelineSample
+from repro.controller.guards import ControlPlaneGuard, GuardConfig
 from repro.controller.profiler import CostProfiler, OperatorKey
 from repro.faults import (
     ChaosSchedule,
     CheckpointConfig,
     ClusterHealth,
+    ControlChaosSchedule,
+    ControlChaosView,
     observe_fault,
     recovery_downtime,
 )
@@ -37,6 +43,7 @@ from repro.diagnosis.explain import Explanation
 from repro.observability import MetricRegistry, Tracer, clock
 from repro.placement.base import PlacementStrategy
 from repro.placement.caps import CapsStrategy
+from repro.placement.flink_evenly import FlinkEvenlyStrategy
 from repro.scaling.ds2 import DS2Controller, ScalingDecision
 from repro.scaling.rates import OperatorRates, aggregate_operator_rates
 from repro.simulator.engine import FluidSimulation, SimulationConfig
@@ -86,10 +93,31 @@ class ControllerConfig:
     #: a few percent of engine runtime (see BENCH_perf.json,
     #: ``diagnosis_overhead``).
     diagnose: bool = False
+    #: Control-plane guard policy (metric validation, deploy retry,
+    #: safe-mode watchdog). Guards arm only when ``run_adaptive`` is
+    #: given a control-chaos schedule, so clean runs stay byte-identical
+    #: to the pre-guard controller.
+    guards: GuardConfig = field(default_factory=GuardConfig)
     seed: int = 0
     sim: SimulationConfig = field(default_factory=SimulationConfig)
 
     def __post_init__(self) -> None:
+        for name in (
+            "policy_interval_s",
+            "activation_time_s",
+            "rescale_downtime_s",
+            "ds2_utilisation_target",
+            "profiling_rate",
+            "profiling_duration_s",
+            "autotune_timeout_s",
+            "search_timeout_s",
+            "rescale_cooldown_s",
+            "rescale_backoff_factor",
+            "rescale_cooldown_max_s",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ValueError(f"{name} must be finite; got {value}")
         if self.policy_interval_s <= 0:
             raise ValueError("policy_interval_s must be positive")
         if self.activation_time_s < 0 or self.rescale_downtime_s < 0:
@@ -250,6 +278,13 @@ class CAPSysController:
         #: (see :mod:`repro.diagnosis.explain`); ``None`` for baseline
         #: strategies that do not produce one.
         self.last_explanation: Optional[Explanation] = None
+        #: Control-plane guard state, armed per :meth:`run_adaptive`
+        #: call when a control-chaos schedule is in play; ``last_guard``
+        #: survives the run for inspection.
+        self._control_view: Optional[ControlChaosView] = None
+        self._guard: Optional[ControlPlaneGuard] = None
+        self._zombie = False
+        self.last_guard: Optional[ControlPlaneGuard] = None
         self.ds2 = DS2Controller(
             graph,
             max_parallelism=cluster.total_slots,
@@ -349,14 +384,38 @@ class CAPSysController:
         cluster. :attr:`last_placement_fallback` records whether the
         strategy degraded past its normal search (see
         :attr:`repro.placement.caps.CapsStrategy.last_fallback`).
+
+        With guards armed, safe mode routes straight to the
+        deterministic evenly baseline, and a strategy whose plan fails
+        validation (the plan sanity guard) degrades to the same
+        fallback instead of crashing the control loop.
         """
         source_rates = {
             (self.graph.job_id, op): float(rate) for op, rate in target_rates.items()
         }
+        search_cluster = self.cluster if cluster is None else cluster
+        guard = self._guard
+        if guard is not None and guard.safe_mode:
+            plan = FlinkEvenlyStrategy(seed=0).place_validated(
+                physical, search_cluster
+            )
+            self.last_placement_fallback = "safe_mode"
+            self.last_explanation = None
+            return plan
         strategy = self._make_strategy(source_rates)
-        plan = strategy.place_validated(
-            physical, self.cluster if cluster is None else cluster
-        )
+        if guard is not None:
+            try:
+                plan = strategy.place_validated(physical, search_cluster)
+            except (ValueError, RuntimeError):
+                guard.plan_rejected()
+                plan = FlinkEvenlyStrategy(seed=0).place_validated(
+                    physical, search_cluster
+                )
+                self.last_placement_fallback = "safe_mode"
+                self.last_explanation = None
+                return plan
+        else:
+            plan = strategy.place_validated(physical, search_cluster)
         self.last_placement_fallback = getattr(strategy, "last_fallback", None)
         self.last_explanation = getattr(strategy, "last_explanation", None)
         return plan
@@ -392,6 +451,8 @@ class CAPSysController:
         search_cluster = (
             self.cluster if health is None else health.placement_cluster()
         )
+        if self._guard is not None:
+            self._guard.round_time_s = started_at_s
         if parallelism is None:
             parallelism = self.initial_parallelism(plain_rates)
         scaled = self.graph.with_parallelism(dict(parallelism))
@@ -461,6 +522,10 @@ class CAPSysController:
             # thresholds, which the sim stream's byte-identity
             # contract must not depend on.
             self.last_explanation = self.last_explanation.with_trigger(trigger)
+            if self._guard is not None:
+                self.last_explanation = self.last_explanation.with_guard_verdict(
+                    self._guard.verdict
+                )
             if tr is not None and tr.enabled:
                 tr.event(
                     "wall",
@@ -480,6 +545,7 @@ class CAPSysController:
         duration_s: float,
         initial_parallelism: Optional[Mapping[str, int]] = None,
         chaos: Optional[ChaosSchedule] = None,
+        control_chaos: Optional[ControlChaosSchedule] = None,
     ) -> AdaptiveRunResult:
         """Run under a variable workload, letting DS2 trigger rescaling.
 
@@ -497,6 +563,16 @@ class CAPSysController:
                 structural events) schedules an opportunistic replan at
                 the next un-gated policy tick. Degradations also take
                 effect on the running engine immediately.
+            control_chaos: Optional deterministic *control-plane* fault
+                schedule (:mod:`repro.faults.telemetry`): it perturbs
+                the telemetry this loop observes and whether redeploys
+                succeed, never engine truth. Providing one arms the
+                guard pipeline of :class:`ControlPlaneGuard` (unless
+                ``config.guards.enabled`` is off, the "unguarded"
+                ablation): metric validation with last-known-good
+                substitution, deploy retry/rollback, and the safe-mode
+                watchdog. Deploy faults intercept *reconfigurations*;
+                the initial deployment always starts.
 
         Returns:
             The stitched timeline with all enacted scaling decisions.
@@ -508,6 +584,58 @@ class CAPSysController:
         # no-chaos path stays byte-identical to the pre-fault loop.
         health_arg = health if chaos else None
         pending = deque(chaos.events) if chaos else deque()
+        view: Optional[ControlChaosView] = None
+        guard: Optional[ControlPlaneGuard] = None
+        if control_chaos is not None:
+            view = ControlChaosView(
+                control_chaos, tracer=self.tracer, registry=self.registry
+            )
+            if cfg.guards.enabled:
+                guard = ControlPlaneGuard(
+                    cfg.guards,
+                    operator_rates_from_unit_costs(
+                        self.graph, self.profile(), self.cluster
+                    ),
+                    tracer=self.tracer,
+                    registry=self.registry,
+                )
+        self._control_view = view
+        self._guard = guard
+        self._zombie = False
+        self.last_guard = guard
+        try:
+            return self._run_adaptive_loop(
+                cfg,
+                result,
+                patterns,
+                duration_s,
+                initial_parallelism,
+                health,
+                health_arg,
+                pending,
+                bool(chaos),
+                view,
+                guard,
+            )
+        finally:
+            self._control_view = None
+            self._guard = None
+            self._zombie = False
+
+    def _run_adaptive_loop(
+        self,
+        cfg: ControllerConfig,
+        result: AdaptiveRunResult,
+        patterns: Mapping[str, RatePattern],
+        duration_s: float,
+        initial_parallelism: Optional[Mapping[str, int]],
+        health: ClusterHealth,
+        health_arg: Optional[ClusterHealth],
+        pending: "deque",
+        chaos_active: bool,
+        view: Optional[ControlChaosView],
+        guard: Optional[ControlPlaneGuard],
+    ) -> AdaptiveRunResult:
         deployment = self.deploy(
             {op: TimeShiftedRate(p, 0.0) for op, p in patterns.items()},
             parallelism=initial_parallelism,
@@ -568,6 +696,8 @@ class CAPSysController:
                 cooldown = next_cooldown(cfg, cooldown, elapsed)
                 last_rescale = now
                 pending_replan = None
+                if guard is not None:
+                    guard.record_round(now, "deploy", observed=True)
                 continue
 
             # ---- advance to the next policy tick or chaos event ----
@@ -582,11 +712,51 @@ class CAPSysController:
             if now - last_rescale < gate or now >= duration_s - 1e-9:
                 if pending_replan is not None and now < duration_s - 1e-9:
                     self._observe_suppressed(now, pending_replan)
+                if guard is not None and now < duration_s - 1e-9:
+                    # Gated round: no telemetry screened, no deploy
+                    # tried — carries no watchdog evidence.
+                    guard.record_round(now, "suppressed", observed=False)
                 continue
             target = {op: patterns[op](now) for op in patterns}
             rates = aggregate_operator_rates(
                 deployment.physical, deployment.engine.metrics.task_rates()
             )
+            if view is not None:
+                rates = view.perturb_rates(rates, now, self.graph.job_id)
+            if guard is not None:
+                guard.round_time_s = now
+                expected = [
+                    (self.graph.job_id, op)
+                    for op in self.graph.topological_order()
+                ]
+                rates = guard.validate_rates(rates, expected, now)
+                if self._zombie:
+                    # A redeploy terminally failed earlier: the engine
+                    # is down whatever the telemetry claims. Recovery
+                    # beats scaling — redeploy the current target.
+                    fitted = self._fit_to_cluster(
+                        deployment.parallelism,
+                        budget=health.total_slots() if chaos_active else None,
+                    )
+                    elapsed = now - last_rescale
+                    deployment, now = self._enact_rescale(
+                        result,
+                        deployment,
+                        now,
+                        patterns,
+                        fitted,
+                        "recover:deploy_failed",
+                        health_arg,
+                    )
+                    cooldown = next_cooldown(cfg, cooldown, elapsed)
+                    last_rescale = now
+                    pending_replan = None
+                    guard.record_round(now, "deploy", observed=True)
+                    continue
+                if guard.holds_decisions:
+                    outcome = "safe_mode" if guard.safe_mode else "suppressed"
+                    guard.record_round(now, outcome, observed=True)
+                    continue
             decision = self.ds2.decide(
                 rates, target, current_parallelism=deployment.parallelism
             )
@@ -608,11 +778,13 @@ class CAPSysController:
                     help="DS2 scaling decisions evaluated.",
                 ).inc()
             if not decision.changed and pending_replan is None:
+                if guard is not None:
+                    guard.record_round(now, "suppressed", observed=True)
                 continue
             reason = "ds2" if decision.changed else pending_replan
             fitted = self._fit_to_cluster(
                 decision.parallelism if decision.changed else deployment.parallelism,
-                budget=health.total_slots() if chaos else None,
+                budget=health.total_slots() if chaos_active else None,
             )
             elapsed = now - last_rescale
             deployment, now = self._enact_rescale(
@@ -621,7 +793,11 @@ class CAPSysController:
             cooldown = next_cooldown(cfg, cooldown, elapsed)
             last_rescale = now
             pending_replan = None
+            if guard is not None:
+                guard.record_round(now, "deploy", observed=True)
         self._flush_diagnosis(deployment)
+        if guard is not None:
+            guard.finish(duration_s)
         return result
 
     def _enact_rescale(
@@ -674,6 +850,78 @@ class CAPSysController:
                 cat="controller",
             )
         self._flush_diagnosis(deployment)
+        rollback = dict(deployment.parallelism)
+        return self._attempt_deploy(
+            result, now, patterns, fitted, reason, health, rollback
+        )
+
+    def _attempt_deploy(
+        self,
+        result: AdaptiveRunResult,
+        now: float,
+        patterns: Mapping[str, RatePattern],
+        fitted: Mapping[str, int],
+        reason: str,
+        health: Optional[ClusterHealth],
+        rollback: Mapping[str, int],
+    ) -> Tuple[Deployment, float]:
+        """Start a new configuration through the control-chaos gate.
+
+        Without a control-chaos view this is a plain :meth:`deploy`.
+        With one, the deploy can fail: **unguarded**, the controller
+        believes it succeeded while the job is actually down (the
+        undetected-failure model — all engine workers dead until the
+        next reconfiguration); **guarded**, failures get bounded retries
+        with exponential backoff (each retry paying its backoff as
+        extra downtime), then a rollback to the previous configuration,
+        and a terminal failure leaves a down engine that the guard's
+        zombie-recovery path redeploys on the next un-gated round.
+        """
+        view = self._control_view
+        guard = self._guard
+        target = {op: patterns[op](now) for op in patterns}
+        ok, extra_delay_s = (True, 0.0) if view is None else view.deploy_attempt(now)
+        if not ok:
+            self._observe_deploy_failed(now, reason)
+            if guard is not None:
+                guard.deploy_failed_this_round = True
+                for attempt in range(1, guard.config.deploy_retry_limit + 1):
+                    backoff_s = guard.retry_backoff_s(attempt)
+                    self._observe_deploy_retry(now, attempt, backoff_s)
+                    now = self._apply_downtime(
+                        result, now, target, fitted, downtime_s=backoff_s
+                    )
+                    ok, extra_delay_s = view.deploy_attempt(now)
+                    if ok:
+                        break
+                    self._observe_deploy_failed(now, reason)
+                if not ok:
+                    # Retries exhausted: fall back to the last known
+                    # good configuration and try once more.
+                    budget = None if health is None else health.total_slots()
+                    fitted = self._fit_to_cluster(rollback, budget=budget)
+                    reason = f"{reason}:rollback"
+                    self._observe_rollback(now, fitted)
+                    ok, extra_delay_s = view.deploy_attempt(now)
+                    if not ok:
+                        self._observe_deploy_failed(now, reason)
+        if ok and extra_delay_s > 0:
+            tr = self.tracer
+            if tr is not None and tr.enabled:
+                tr.event(
+                    "sim",
+                    "controller.deploy.delayed",
+                    now,
+                    cat="controller",
+                    args={"delay_s": extra_delay_s},
+                )
+            now = self._apply_downtime(
+                result, now, target, fitted, downtime_s=extra_delay_s
+            )
+        if guard is not None:
+            # New configuration, new contention regime: stale medians
+            # must not poison the outlier test.
+            guard.reset_history()
         deployment = self.deploy(
             {op: TimeShiftedRate(patterns[op], now) for op in patterns},
             parallelism=fitted,
@@ -681,7 +929,71 @@ class CAPSysController:
             health=health,
             trigger=reason,
         )
+        self._zombie = not ok
+        if not ok:
+            # The controller believes this deployment is live; it is
+            # not. Engine truth: every worker down, zero throughput,
+            # total backpressure, until recovery redeploys.
+            self._kill_engine(deployment.engine)
         return deployment, now
+
+    def _kill_engine(self, engine: FluidSimulation) -> None:
+        n = len(engine.cluster.workers)
+        engine.apply_worker_factors(
+            np.ones(n), np.ones(n), np.ones(n), np.zeros(n, dtype=bool)
+        )
+
+    def _observe_deploy_failed(self, now: float, reason: str) -> None:
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "controller.deploy.failed",
+                now,
+                cat="controller",
+                args={"reason": reason},
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "controller_deploy_failures_total",
+                help="Deploy attempts failed by control-plane chaos.",
+            ).inc()
+
+    def _observe_deploy_retry(
+        self, now: float, attempt: int, backoff_s: float
+    ) -> None:
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "controller.deploy.retry",
+                now,
+                cat="controller",
+                args={"attempt": attempt, "backoff_s": backoff_s},
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "controller_deploy_retries_total",
+                help="Deploy retries after a failed attempt.",
+            ).inc()
+
+    def _observe_rollback(
+        self, now: float, parallelism: Mapping[str, int]
+    ) -> None:
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.event(
+                "sim",
+                "controller.rollback",
+                now,
+                cat="controller",
+                args={"parallelism": _parallelism_str(parallelism)},
+            )
+        if self.registry is not None:
+            self.registry.counter(
+                "controller_rollbacks_total",
+                help="Rollbacks to the last known good configuration.",
+            ).inc()
 
     def _flush_diagnosis(self, deployment: Deployment) -> None:
         """Flush a retiring engine's diagnosis aggregates into the trace."""

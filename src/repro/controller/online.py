@@ -44,15 +44,54 @@ def _nonnegative_lstsq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.maximum(solution, 0.0)
 
 
+def _usage_row_mask(
+    usage_rows: np.ndarray, mad_threshold: float, min_rows: int
+) -> np.ndarray:
+    """Boolean mask of worker rows to keep for the attribution solve.
+
+    Rows with any non-finite usage are always dropped. Rows whose total
+    usage is a MAD-based outlier (modified z-score above
+    ``mad_threshold``) are dropped next, worst first, but never below
+    ``min_rows`` surviving rows — the least-squares system must stay at
+    least square.
+    """
+    keep = np.isfinite(usage_rows).all(axis=1)
+    if keep.sum() < min_rows:
+        # Too corrupted to be selective; the caller gets the finite
+        # rows only and the solve degrades gracefully.
+        return keep
+    totals = usage_rows.sum(axis=1)
+    finite_totals = totals[keep]
+    med = float(np.median(finite_totals))
+    mad = float(np.median(np.abs(finite_totals - med)))
+    if mad <= 1e-12:
+        return keep
+    z = 0.6745 * np.abs(totals - med) / mad
+    order = np.argsort(-z)
+    for idx in order:
+        if keep.sum() <= min_rows:
+            break
+        if keep[idx] and z[idx] > mad_threshold:
+            keep[idx] = False
+    return keep
+
+
 def estimate_unit_costs(
     sim: FluidSimulation,
     warmup_s: float = 0.0,
+    mad_threshold: Optional[float] = None,
 ) -> Dict[OperatorKey, UnitCosts]:
     """Attribute a live deployment's worker usage to per-operator costs.
 
     Args:
         sim: A running simulation with at least one full metrics window.
         warmup_s: Portion of the worker-usage series to discard.
+        mad_threshold: When set, screen worker usage rows before the
+            attribution solve: rows with non-finite usage are dropped,
+            and rows whose total usage is a MAD modified-z-score
+            outlier above this threshold are dropped (keeping at least
+            as many rows as operators). ``None`` — the default —
+            preserves the historical unscreened behaviour bit-for-bit.
 
     Returns:
         Estimated :class:`UnitCosts` per operator. Operators that
@@ -82,6 +121,15 @@ def estimate_unit_costs(
     io_usage = sim.metrics.worker_io_rate(warmup_s, dt)
     net_usage = sim.metrics.worker_net_rate(warmup_s, dt)
 
+    if mad_threshold is not None:
+        usage_rows = np.column_stack([cpu_usage, io_usage, net_usage])
+        keep = _usage_row_mask(usage_rows, mad_threshold, min_rows=n_ops)
+        a_in = a_in[keep]
+        a_out = a_out[keep]
+        cpu_usage = cpu_usage[keep]
+        io_usage = io_usage[keep]
+        net_usage = net_usage[keep]
+
     cpu = _nonnegative_lstsq(a_in, cpu_usage)
     io = _nonnegative_lstsq(a_in, io_usage)
     net = _nonnegative_lstsq(a_out, net_usage)
@@ -108,21 +156,54 @@ class OnlineProfiler:
     exponential moving average, so a momentary starvation does not wipe
     out a good profile. The refreshed costs can be handed to DS2 and
     CAPS on the next reconfiguration exactly like offline profiles.
+
+    A profiler is also the *last-known-good profile store* of the
+    control-plane guard pipeline: a fresh estimate with any non-finite
+    cost is quarantined outright (the stored profile is untouched), and
+    ``staleness_budget`` consecutive quarantined/starved refreshes flip
+    :attr:`stale` so the controller knows the profile has outlived its
+    trustworthiness.
     """
 
     def __init__(
         self,
         initial: Mapping[OperatorKey, UnitCosts],
         smoothing: float = 0.5,
+        mad_threshold: Optional[float] = None,
+        staleness_budget: int = 3,
     ) -> None:
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if staleness_budget < 1:
+            raise ValueError("staleness_budget must be >= 1")
         self._costs: Dict[OperatorKey, UnitCosts] = dict(initial)
         self.smoothing = smoothing
+        self.mad_threshold = mad_threshold
+        self.staleness_budget = staleness_budget
+        self._stale_refreshes = 0
+        #: Fresh estimates rejected for non-finite costs.
+        self.quarantined_total = 0
 
     @property
     def unit_costs(self) -> Dict[OperatorKey, UnitCosts]:
         return dict(self._costs)
+
+    @property
+    def stale(self) -> bool:
+        """Whether the profile exhausted its staleness budget."""
+        return self._stale_refreshes >= self.staleness_budget
+
+    @staticmethod
+    def _finite(costs: UnitCosts) -> bool:
+        return all(
+            np.isfinite(v)
+            for v in (
+                costs.cpu_per_record,
+                costs.io_bytes_per_record,
+                costs.net_bytes_per_record,
+                costs.selectivity,
+            )
+        )
 
     def refresh(self, sim: FluidSimulation, warmup_s: float = 0.0) -> None:
         """Fold a live estimate into the running profile.
@@ -133,16 +214,35 @@ class OnlineProfiler:
         dimension — the profile must reflect what the operator *would*
         emit if remote, which is what the cost model needs.
         """
-        fresh = estimate_unit_costs(sim, warmup_s)
+        try:
+            fresh = estimate_unit_costs(
+                sim, warmup_s, mad_threshold=self.mad_threshold
+            )
+        except (ValueError, np.linalg.LinAlgError):
+            # Corrupted attribution: non-finite usage poisons the
+            # least-squares solve and UnitCosts itself rejects
+            # non-finite coefficients. Keep the last known good profile.
+            self.quarantined_total += 1
+            self._stale_refreshes += 1
+            return
+        if any(not self._finite(new) for new in fresh.values()):
+            # Defense in depth against an estimator that slips a
+            # non-finite cost past construction.
+            self.quarantined_total += 1
+            self._stale_refreshes += 1
+            return
         alpha = self.smoothing
+        absorbed = False
         for key, new in fresh.items():
             if key not in self._costs:
                 self._costs[key] = new
+                absorbed = True
                 continue
             old = self._costs[key]
             starved = new.selectivity == 0.0 and new.cpu_per_record == 0.0
             if starved:
                 continue
+            absorbed = True
             self._costs[key] = UnitCosts(
                 cpu_per_record=(1 - alpha) * old.cpu_per_record
                 + alpha * new.cpu_per_record,
@@ -153,3 +253,7 @@ class OnlineProfiler:
                 ),
                 selectivity=(1 - alpha) * old.selectivity + alpha * new.selectivity,
             )
+        if absorbed:
+            self._stale_refreshes = 0
+        else:
+            self._stale_refreshes += 1

@@ -44,6 +44,11 @@ class Explanation:
         thresholds: The pruning thresholds the search ran with.
         plans_explored: Satisfying plans the search discovered.
         reason: One-line human-readable summary of the decision.
+        guard_verdict: Control-plane guard verdict attached by the
+            controller when guards are armed (``"clean"``,
+            ``"rejected"`` — telemetry was quarantined this round — or
+            ``"safe_mode"``); ``None`` when guards are not in play, so
+            pre-guard traces stay byte-identical.
     """
 
     trigger: str
@@ -56,10 +61,15 @@ class Explanation:
     thresholds: Mapping[str, float] = field(default_factory=dict)
     plans_explored: int = 0
     reason: str = ""
+    guard_verdict: Optional[str] = None
 
     def with_trigger(self, trigger: str) -> "Explanation":
         """Copy with the controller-known trigger filled in."""
         return dataclasses.replace(self, trigger=trigger)
+
+    def with_guard_verdict(self, verdict: str) -> "Explanation":
+        """Copy with the controller's guard verdict filled in."""
+        return dataclasses.replace(self, guard_verdict=verdict)
 
     def to_args(self) -> Dict[str, Any]:
         """Flat JSON-encodable mapping for trace-event args."""
@@ -81,6 +91,8 @@ class Explanation:
                 args[f"margin_{dim}"] = self.margins[dim]
             if dim in self.thresholds:
                 args[f"threshold_{dim}"] = self.thresholds[dim]
+        if self.guard_verdict is not None:
+            args["guard_verdict"] = self.guard_verdict
         return args
 
     def format_text(self) -> str:
@@ -102,6 +114,8 @@ class Explanation:
         )
         if margins:
             parts.append(f"margins: {margins}")
+        if self.guard_verdict:
+            parts.append(f"guard={self.guard_verdict}")
         if self.reason:
             parts.append(self.reason)
         return "; ".join(parts)

@@ -17,16 +17,28 @@ from repro.faults.schedule import (
     ChaosSchedule,
     FaultEvent,
 )
+from repro.faults.telemetry import (
+    CONTROL_FAULT_KINDS,
+    ControlChaosSchedule,
+    ControlChaosView,
+    ControlFaultEvent,
+    observe_control_fault,
+)
 
 __all__ = [
+    "CONTROL_FAULT_KINDS",
     "ChaosSchedule",
     "CheckpointConfig",
     "ClusterHealth",
+    "ControlChaosSchedule",
+    "ControlChaosView",
+    "ControlFaultEvent",
     "DEGRADE_KINDS",
     "EngineFaultDriver",
     "FAULT_KINDS",
     "FaultEvent",
     "STRUCTURAL_KINDS",
+    "observe_control_fault",
     "observe_fault",
     "recovery_downtime",
 ]

@@ -112,8 +112,14 @@ class ChaosSchedule:
         Tokens are ``kind:w<worker>@<time>`` with an optional
         ``x<magnitude>`` suffix, joined by commas. Degrade tokens
         without a magnitude default to ``x0.5``.
+
+        Malformed tokens — unknown kinds, bad workers/times/magnitudes,
+        a magnitude on ``crash``/``recover`` (which take none), or a
+        duplicate of an earlier token's kind/worker/time — raise a
+        :class:`ValueError` naming the offending token.
         """
         events = []
+        seen: dict = {}
         for raw in spec.split(","):
             token = raw.strip()
             if not token:
@@ -126,6 +132,11 @@ class ChaosSchedule:
                     f"bad chaos token {token!r}; expected "
                     f"kind:w<worker>@<time>[x<magnitude>]"
                 ) from None
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} in chaos token {token!r}; "
+                    f"expected one of {FAULT_KINDS}"
+                )
             if not worker.startswith("w") or not worker[1:].isdigit():
                 raise ValueError(
                     f"bad worker {worker!r} in chaos token {token!r}; "
@@ -133,6 +144,11 @@ class ChaosSchedule:
                 )
             worker_id = int(worker[1:])
             if "x" in timing:
+                if kind in ("crash", "recover"):
+                    raise ValueError(
+                        f"{kind} takes no x<magnitude>; got chaos token "
+                        f"{token!r}"
+                    )
                 time_str, mag_str = timing.split("x", 1)
                 try:
                     magnitude = float(mag_str)
@@ -151,7 +167,17 @@ class ChaosSchedule:
                 raise ValueError(
                     f"bad time {time_str!r} in chaos token {token!r}"
                 ) from None
-            events.append(FaultEvent(time_s, kind, worker_id, magnitude))
+            key = (kind, worker_id, time_s)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate chaos token {token!r} (same kind/worker/time "
+                    f"as {seen[key]!r})"
+                )
+            seen[key] = token
+            try:
+                events.append(FaultEvent(time_s, kind, worker_id, magnitude))
+            except ValueError as exc:
+                raise ValueError(f"bad chaos token {token!r}: {exc}") from None
         return cls(events)
 
     @property

@@ -103,11 +103,34 @@ class TestScheduleGrammar:
             "disk:w0@10x1.5",      # magnitude out of (0, 1]
             "slots:w0@10x0.5",     # slots must lose whole slots
             "crash:w0",            # missing time
+            "crash:w0@10x5",       # crash takes no magnitude
+            "recover:w0@10x0.5",   # recover takes no magnitude
+            "slots:w0@10xmany",    # unparseable magnitude
+            "disk:w0@-5",          # negative time
+            "crash:w0@10,crash:w0@10",      # exact duplicate
+            "disk:w1@20x0.5,disk:w1@20x0.3",  # duplicate kind/worker/time
         ],
     )
     def test_rejects_malformed_tokens(self, bad):
         with pytest.raises(ValueError):
             ChaosSchedule.parse(bad)
+
+    @pytest.mark.parametrize(
+        "bad, offender",
+        [
+            ("boom:w0@10", "boom:w0@10"),
+            ("crash:w0@10x5", "crash:w0@10x5"),
+            ("crash:w1@5,crash:w0@10,crash:w0@10", "crash:w0@10"),
+            ("disk:w0@10x0", "disk:w0@10x0"),
+        ],
+    )
+    def test_error_names_the_offending_token(self, bad, offender):
+        with pytest.raises(ValueError, match=offender.replace("@", "@")):
+            ChaosSchedule.parse(bad)
+
+    def test_same_worker_different_kinds_same_time_allowed(self):
+        schedule = ChaosSchedule.parse("disk:w0@10x0.5,net:w0@10x0.5")
+        assert len(schedule) == 2
 
     def test_event_validation(self):
         with pytest.raises(ValueError):
