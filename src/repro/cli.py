@@ -9,6 +9,8 @@ Subcommands mirror the library's main entry points:
                 workload and print the convergence timeline;
 - ``explore``   enumerate a query's placement space and summarise the
                 cost/performance spread (the motivation study);
+- ``validate-runtime``  cross-validate the fluid model against the
+                sharded record runtime on Q1/Q2/Q6 (DESIGN.md §12);
 - ``queries``   list the available queries and their calibrated rates.
 
 Usage:
@@ -17,6 +19,7 @@ Usage:
     python -m repro.cli compare Q5-aggregate --runs 5
     python -m repro.cli autoscale Q3-inf --duration 2700
     python -m repro.cli explore Q1-sliding
+    python -m repro.cli validate-runtime --queries q1,q2
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.dataflow.cluster import Cluster, M5D_2XLARGE, R5D_XLARGE
 from repro.dataflow.physical import PhysicalGraph
 from repro.experiments import enumerate_all_plans
 from repro.experiments.figures import convergence_timeline_rows
+from repro.experiments.validate_runtime import cross_validate, format_validation
 from repro.experiments.reporting import box_stats, format_percent, format_table
 from repro.experiments.runner import simulate_plan, strategy_box_runs
 from repro.faults import ChaosSchedule, CheckpointConfig, ControlChaosSchedule
@@ -397,6 +401,33 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate_runtime(args: argparse.Namespace) -> int:
+    queries = tuple(q.strip() for q in args.queries.split(",") if q.strip())
+    tracer, registry = _observability(
+        args, f"validate-runtime/{','.join(queries)}"
+    )
+    rows = cross_validate(
+        queries=queries,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        rate_scale=args.rate_scale,
+        seed=args.seed,
+        tracer=tracer,
+        registry=registry,
+    )
+    print(format_validation(rows))
+    _write_observability(args, tracer, registry)
+    worst = max(rows, key=lambda r: r.throughput_error)
+    if worst.throughput_error > args.max_throughput_error:
+        print(
+            f"FAIL: {worst.query} throughput error "
+            f"{worst.throughput_error:.1%} exceeds "
+            f"{args.max_throughput_error:.1%}"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="CAPSys reproduction command line"
@@ -455,6 +486,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p)
     _add_ff_arg(p)
     p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "validate-runtime",
+        help="cross-validate the fluid model against the sharded runtime",
+    )
+    p.add_argument("--queries", default="q1,q2,q6",
+                   help="comma-separated subset of q1,q2,q6")
+    p.add_argument("--duration", type=float, default=12.0)
+    p.add_argument("--warmup", type=float, default=2.0)
+    p.add_argument("--rate-scale", type=float, default=1.0,
+                   help="multiply the per-query target rates")
+    p.add_argument("--seed", type=int, default=7,
+                   help="Nexmark generator seed")
+    p.add_argument("--max-throughput-error", type=float, default=0.10,
+                   metavar="FRAC",
+                   help="exit 1 if any query's relative throughput error "
+                        "exceeds this fraction")
+    _add_obs_args(p)
+    p.set_defaults(fn=cmd_validate_runtime)
     return parser
 
 

@@ -16,8 +16,17 @@ three purposes:
 3. it demonstrates what the placement layer is placing: each pipeline
    stage corresponds to one logical operator of the placement problem.
 
-It is intentionally single-process and single-threaded — parallelism,
-placement, and contention are the fluid simulator's job.
+Execution comes in two flavours. :class:`Pipeline` is single-threaded
+and single-instance — the semantic reference. The *sharded* executor
+(:mod:`repro.runtime.parallel`) runs the same templates as N
+hash-partitioned operator instances per logical operator under a
+placement from the placement layer, connected by bounded channels with
+credit-based backpressure (:mod:`repro.runtime.channels`); everything
+still runs deterministically in one process, and its ``parallelism=1``
+degenerate mode reproduces ``Pipeline.run`` outputs exactly. The
+cross-validation harness
+(:mod:`repro.experiments.validate_runtime`) uses it to check the fluid
+simulator's predictions against actual record execution.
 """
 
 from repro.runtime.windows import (
@@ -39,8 +48,31 @@ from repro.runtime.operators import (
     WindowJoinOperator,
 )
 from repro.runtime.executor import Pipeline, PipelineResult
+from repro.runtime.channels import BoundedChannel, ChannelStats
+from repro.runtime.parallel import (
+    PipelineTemplate,
+    RuntimeJobSummary,
+    ShardedExecutor,
+    ShardedResult,
+    ShardedRuntimeConfig,
+    SourceDef,
+    StageDef,
+    run_sharded,
+    stable_hash,
+)
 
 __all__ = [
+    "BoundedChannel",
+    "ChannelStats",
+    "PipelineTemplate",
+    "RuntimeJobSummary",
+    "ShardedExecutor",
+    "ShardedResult",
+    "ShardedRuntimeConfig",
+    "SourceDef",
+    "StageDef",
+    "run_sharded",
+    "stable_hash",
     "Window",
     "TumblingWindows",
     "SlidingWindows",

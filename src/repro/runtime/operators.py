@@ -213,21 +213,42 @@ class SessionWindowOperator(Operator):
         return self._emit([])
 
     def on_watermark(self, watermark_ms: int) -> List[Record]:
-        outputs: List[Record] = []
-        for key in sorted(self.merger.keys(), key=repr):
+        closed: List[Tuple[int, Tuple[str, Any], int, int, Record]] = []
+        for key in list(self.merger.keys()):
+            token = _session_key_token(key)
             for window in self.merger.expire_before(key, watermark_ms):
                 accumulator = self.state.get((key, window))
-                outputs.append(
-                    Record(
-                        window.end_ms - 1,
-                        self.result_fn(key, window, accumulator),
-                    )
+                record = Record(
+                    window.end_ms - 1,
+                    self.result_fn(key, window, accumulator),
+                )
+                closed.append(
+                    (record.timestamp_ms, token, window.start_ms, window.end_ms, record)
                 )
                 self.state.delete((key, window))
         # sessions of different keys may close at different event times
-        # within one watermark advance; emit in event-time order
-        outputs.sort(key=lambda r: (r.timestamp_ms, repr(r.value)))
-        return self._emit(outputs)
+        # within one watermark advance; emit in event-time order, tie-
+        # broken by session key and window bounds — never by the repr of
+        # the result value, which may collide across keys
+        closed.sort(key=lambda entry: entry[:4])
+        return self._emit([entry[4] for entry in closed])
+
+
+def _session_key_token(key: Any) -> Tuple[str, Any]:
+    """A totally ordered proxy for an arbitrary session key.
+
+    Common key types order natively within their group (numbers
+    numerically, strings lexicographically); anything else falls back to
+    ``(type name, repr)``. Grouping by type rank keeps the combined
+    order total even for mixed key types.
+    """
+    if isinstance(key, (bool, int, float)):
+        return ("0:num", (float(key), repr(key)))
+    if isinstance(key, str):
+        return ("1:str", key)
+    if isinstance(key, bytes):
+        return ("2:bytes", key)
+    return (f"9:{type(key).__name__}", repr(key))
 
 
 def _merge_accumulators(a: Any, b: Any) -> Any:
@@ -268,7 +289,11 @@ class WindowJoinOperator(Operator):
         self.right_key_fn = right_key_fn
         self.result_fn = result_fn
         self.state = KeyedState()
-        self._pending_windows: Set[Window] = set()
+        # Per-window slot index in slot-creation order (an insertion-
+        # ordered dict used as an ordered set): firing a window touches
+        # only that window's own slots instead of rescanning the entire
+        # keyed state per pending window.
+        self._window_slots: Dict[Window, Dict[Tuple[str, Any], None]] = {}
 
     def _window_of(self, timestamp_ms: int) -> Window:
         start = (timestamp_ms // self.window_size_ms) * self.window_size_ms
@@ -285,7 +310,7 @@ class WindowJoinOperator(Operator):
         buffer = self.state.get(slot) or []
         buffer.append(record.value)
         self.state.put(slot, buffer)
-        self._pending_windows.add(window)
+        self._window_slots.setdefault(window, {})[(side, key)] = None
         return self._emit([])
 
     def process(self, record: Record) -> List[Record]:
@@ -295,32 +320,31 @@ class WindowJoinOperator(Operator):
 
     def on_watermark(self, watermark_ms: int) -> List[Record]:
         outputs: List[Record] = []
-        for window in sorted(self._pending_windows):
-            if window.end_ms > watermark_ms:
-                continue
+        fired = sorted(
+            w for w in self._window_slots if w.end_ms <= watermark_ms
+        )
+        for window in fired:
+            # Slot-creation order within the window equals the global
+            # state-insertion order restricted to it, so outputs are
+            # byte-identical to the former whole-state rescans — at a
+            # cost proportional to this window's own state.
+            slots = self._window_slots.pop(window)
             lefts: Dict[Any, List[Any]] = {}
-            for slot in list(self.state.keys()):
-                side, slot_window, key = slot
-                if slot_window != window:
-                    continue
+            for side, key in slots:
                 if side == self.LEFT:
-                    lefts[key] = self.state.get(slot)
-            for slot in list(self.state.keys()):
-                side, slot_window, key = slot
-                if slot_window != window or side != self.RIGHT:
+                    lefts[key] = self.state.get((side, window, key))
+            for side, key in slots:
+                if side != self.RIGHT or key not in lefts:
                     continue
-                if key in lefts:
-                    rights = self.state.get(slot)
-                    for left_value in lefts[key]:
-                        for right_value in rights:
-                            outputs.append(
-                                Record(
-                                    window.end_ms - 1,
-                                    self.result_fn(left_value, right_value),
-                                )
+                rights = self.state.get((side, window, key))
+                for left_value in lefts[key]:
+                    for right_value in rights:
+                        outputs.append(
+                            Record(
+                                window.end_ms - 1,
+                                self.result_fn(left_value, right_value),
                             )
-            for slot in list(self.state.keys()):
-                if slot[1] == window:
-                    self.state.delete(slot)
-            self._pending_windows.discard(window)
+                        )
+            for side, key in slots:
+                self.state.delete((side, window, key))
         return self._emit(outputs)

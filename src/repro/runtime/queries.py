@@ -29,6 +29,7 @@ from repro.runtime.operators import (
     WindowAggregateOperator,
     WindowJoinOperator,
 )
+from repro.runtime.parallel import PipelineTemplate
 from repro.runtime.windows import SlidingWindows, Window
 from repro.workloads.nexmark import Auction, Bid, Person
 
@@ -42,13 +43,15 @@ def records_from(events: Iterable[object]) -> List[Record]:
 # Q1-sliding / Nexmark Q5: hot items
 # ----------------------------------------------------------------------
 
-def hot_items_pipeline(
+def hot_items_template(
     bids: Sequence[Bid], window_ms: int = 10_000, slide_ms: int = 2_000
-) -> Pipeline:
-    """Hottest auction per sliding window.
+) -> PipelineTemplate:
+    """The hot-items query as a re-instantiable template.
 
-    Emits ``(window_end_ms, auction_id, bid_count)`` rows; windows fire
-    in event-time order as the watermark passes their end.
+    Stage names match the operators of
+    :func:`repro.workloads.queries.q1_sliding` (``map``,
+    ``sliding_window``) so the sharded executor can instantiate the
+    template onto that logical graph's physical expansion.
     """
 
     def add(acc, bid: Bid):
@@ -60,25 +63,71 @@ def hot_items_pipeline(
         hottest = max(acc.items(), key=lambda kv: (kv[1], -kv[0]))
         return (window.end_ms, hottest[0], hottest[1])
 
-    window_op = WindowAggregateOperator(
-        "sliding_window",
-        assigner=SlidingWindows(window_ms, slide_ms),
-        key_fn=lambda _bid: "all",  # global hot-items ranking
-        init_fn=dict,
-        add_fn=add,
-        result_fn=result,
-    )
+    def window_factory():
+        return WindowAggregateOperator(
+            "sliding_window",
+            assigner=SlidingWindows(window_ms, slide_ms),
+            key_fn=lambda _bid: "all",  # global hot-items ranking
+            init_fn=dict,
+            add_fn=add,
+            result_fn=result,
+        )
+
     return (
-        Pipeline("hot-items")
+        PipelineTemplate("hot-items")
         .add_source(records_from(bids))
-        .then(MapOperator("map", lambda bid: bid))
-        .then(window_op)
+        .then("map", lambda: MapOperator("map", lambda bid: bid))
+        .then("sliding_window", window_factory)
     )
+
+
+def hot_items_pipeline(
+    bids: Sequence[Bid], window_ms: int = 10_000, slide_ms: int = 2_000
+) -> Pipeline:
+    """Hottest auction per sliding window.
+
+    Emits ``(window_end_ms, auction_id, bid_count)`` rows; windows fire
+    in event-time order as the watermark passes their end.
+    """
+    return hot_items_template(bids, window_ms, slide_ms).build_pipeline()
 
 
 # ----------------------------------------------------------------------
 # Q2-join / Nexmark Q8: persons joined with their new auctions
 # ----------------------------------------------------------------------
+
+def new_user_auctions_template(
+    persons: Sequence[Person],
+    auctions: Sequence[Auction],
+    window_ms: int = 10_000,
+) -> PipelineTemplate:
+    """The new-user-auctions join as a re-instantiable template.
+
+    The persons source is added first, so it maps to the LEFT join side
+    and (positionally) to ``source_persons`` of
+    :func:`repro.workloads.queries.q2_join`; that graph's ``map_*``
+    operators have no template stage and run as identity relays.
+    """
+
+    def join_factory():
+        return WindowJoinOperator(
+            "tumbling_join",
+            window_size_ms=window_ms,
+            left_key_fn=lambda person: person.person_id,
+            right_key_fn=lambda auction: auction.seller_id,
+            result_fn=lambda person, auction: (
+                person.person_id,
+                auction.auction_id,
+            ),
+        )
+
+    return (
+        PipelineTemplate("new-user-auctions")
+        .add_source(records_from(persons), tag="persons")
+        .add_source(records_from(auctions), tag="auctions")
+        .then("tumbling_join", join_factory)
+    )
+
 
 def new_user_auctions_pipeline(
     persons: Sequence[Person],
@@ -89,19 +138,9 @@ def new_user_auctions_pipeline(
 
     Emits ``(person_id, auction_id)`` pairs.
     """
-    join = WindowJoinOperator(
-        "tumbling_join",
-        window_size_ms=window_ms,
-        left_key_fn=lambda person: person.person_id,
-        right_key_fn=lambda auction: auction.seller_id,
-        result_fn=lambda person, auction: (person.person_id, auction.auction_id),
-    )
-    return (
-        Pipeline("new-user-auctions")
-        .add_source(records_from(persons), tag="persons")
-        .add_source(records_from(auctions), tag="auctions")
-        .then(join)
-    )
+    return new_user_auctions_template(
+        persons, auctions, window_ms
+    ).build_pipeline()
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +232,39 @@ class PipelineStats:
         self.state_stats = state_stats
 
 
+def bid_sessions_template(
+    bids: Sequence[Bid], gap_ms: int = 5_000
+) -> PipelineTemplate:
+    """The bid-sessions query as a re-instantiable template.
+
+    Stage names match :func:`repro.workloads.queries.q6_session`
+    (``map``, ``session_window``).
+    """
+    gap = gap_ms
+
+    def session_factory():
+        return SessionWindowOperator(
+            "session_window",
+            gap_ms=gap_ms,
+            key_fn=lambda bid: bid.bidder_id,
+            init_fn=lambda: 0,
+            add_fn=lambda acc, _bid: acc + 1,
+            result_fn=lambda key, window, acc: (
+                key,
+                window.start_ms,
+                window.end_ms - gap,
+                acc,
+            ),
+        )
+
+    return (
+        PipelineTemplate("bid-sessions")
+        .add_source(records_from(bids))
+        .then("map", lambda: MapOperator("map", lambda bid: bid))
+        .then("session_window", session_factory)
+    )
+
+
 def bid_sessions_pipeline(
     bids: Sequence[Bid], gap_ms: int = 5_000
 ) -> Pipeline:
@@ -202,24 +274,4 @@ def bid_sessions_pipeline(
     rows matching the reference semantics of
     :func:`repro.workloads.nexmark.session_windows`.
     """
-    gap = gap_ms
-
-    session = SessionWindowOperator(
-        "session_window",
-        gap_ms=gap_ms,
-        key_fn=lambda bid: bid.bidder_id,
-        init_fn=lambda: 0,
-        add_fn=lambda acc, _bid: acc + 1,
-        result_fn=lambda key, window, acc: (
-            key,
-            window.start_ms,
-            window.end_ms - gap,
-            acc,
-        ),
-    )
-    return (
-        Pipeline("bid-sessions")
-        .add_source(records_from(bids))
-        .then(MapOperator("map", lambda bid: bid))
-        .then(session)
-    )
+    return bid_sessions_template(bids, gap_ms).build_pipeline()

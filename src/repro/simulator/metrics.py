@@ -361,15 +361,20 @@ class MetricsCollector:
 
     def summarize(self, warmup_s: Seconds = 0.0) -> SimulationSummary:
         """Average the post-warmup portion of every job's series."""
-        jobs: Dict[str, JobSummary] = {}
+        # The deployment duration is the maximum over *all* job series;
+        # it must be final before any summary is built, otherwise jobs
+        # summarized earlier would see a partially-accumulated maximum
+        # and per-job results would depend on job iteration order.
         duration = 0.0
         for job_id in self.job_ids:
             store = self._series[job_id]
             if store.rows == 0:
                 raise RuntimeError(f"no samples recorded for job {job_id!r}")
-            data = store.data()
+            duration = max(duration, float(store.data()[-1, _TIME]))
+        jobs: Dict[str, JobSummary] = {}
+        for job_id in self.job_ids:
+            data = self._series[job_id].data()
             times = data[:, _TIME]
-            duration = max(duration, float(times[-1]))
             window = data[times >= warmup_s]
             if not len(window):
                 window = data[-1:]

@@ -90,6 +90,26 @@ class TestSummaries:
         with pytest.raises(RuntimeError):
             collector().summarize()
 
+    @pytest.mark.parametrize("job_ids", [["short", "long"], ["long", "short"]])
+    def test_duration_is_global_max_regardless_of_job_order(self, job_ids):
+        """Every job summary reports the deployment-wide duration.
+
+        Jobs whose series end early (e.g. they were rescaled away) must
+        not see a partially-accumulated maximum just because they were
+        summarized before the longest-running job.
+        """
+        c = MetricsCollector(
+            job_ids=job_ids, task_uids=["j/a[0]"], window_ticks=3
+        )
+        for t in (1.0, 2.0, 3.0):
+            c.record_job_tick("short", sample(t))
+        for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+            c.record_job_tick("long", sample(t))
+        summary = c.summarize()
+        assert summary.duration_s == 5.0
+        assert summary.job("short").duration_s == 5.0
+        assert summary.job("long").duration_s == 5.0
+
     def test_job_series_roundtrip(self):
         c = collector()
         c.record_job_tick("job", sample(1.0))

@@ -57,6 +57,71 @@ class TestPipelineAssembly:
         with pytest.raises(ValueError):
             p.run()
 
+    def test_two_sources_require_a_join_head(self):
+        p = (
+            Pipeline("bad")
+            .add_source([], tag="a")
+            .add_source([], tag="b")
+            .then(MapOperator("m", lambda v: v))
+        )
+        with pytest.raises(ValueError):
+            p.run()
+
+    def test_join_rejected_mid_chain(self):
+        from repro.runtime.operators import WindowJoinOperator
+
+        p = (
+            Pipeline("bad")
+            .add_source([], tag="a")
+            .add_source([], tag="b")
+            .then(MapOperator("m", lambda v: v))
+            .then(
+                WindowJoinOperator(
+                    "j", 10, lambda v: v, lambda v: v, lambda a, b: (a, b)
+                )
+            )
+        )
+        with pytest.raises(ValueError):
+            p.run()
+
+
+class TestJoinSideRouting:
+    """The first source added is always the LEFT join side."""
+
+    @staticmethod
+    def _join():
+        from repro.runtime.operators import WindowJoinOperator
+
+        return WindowJoinOperator(
+            "j",
+            window_size_ms=10,
+            left_key_fn=lambda v: 0,
+            right_key_fn=lambda v: 0,
+            result_fn=lambda left, right: ("L", left, "R", right),
+        )
+
+    def test_first_source_is_left_in_both_add_orders(self):
+        xs = [Record(1, "x")]
+        ys = [Record(2, "y")]
+
+        first = (
+            Pipeline("p1")
+            .add_source(xs, tag="xs")
+            .add_source(ys, tag="ys")
+            .then(self._join())
+            .run()
+        )
+        assert first.output_values() == [("L", "x", "R", "y")]
+
+        swapped = (
+            Pipeline("p2")
+            .add_source(ys, tag="ys")
+            .add_source(xs, tag="xs")
+            .then(self._join())
+            .run()
+        )
+        assert swapped.output_values() == [("L", "y", "R", "x")]
+
 
 class TestHotItems:
     def test_matches_reference_on_common_windows(self, events):
